@@ -1,0 +1,216 @@
+// Package tiresias_bench holds the repository-level benchmarks: one
+// testing.B benchmark per table and figure of the paper, each driving
+// the same experiment code as cmd/tiresias-bench, plus micro-
+// benchmarks for the hot paths (per-timeunit engine steps and the
+// forecasting update).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package tiresias_bench
+
+import (
+	"testing"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/experiments"
+	"tiresias/internal/forecast"
+	"tiresias/internal/stream"
+)
+
+// benchProfile is sized so each experiment iteration is milliseconds
+// to a few hundred milliseconds.
+func benchProfile() experiments.Profile {
+	p := experiments.Quick()
+	p.WarmUnits = 64
+	p.RunUnits = 32
+	p.BaseRate = 100
+	return p
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := benchProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ByID(id, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Text == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable1CCDMix regenerates Table I (first-level ticket mix).
+func BenchmarkTable1CCDMix(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2Hierarchies regenerates Table II (hierarchy degrees).
+func BenchmarkTable2Hierarchies(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Runtime regenerates Table III (ADA vs STA stage
+// timings at two timeunit sizes).
+func BenchmarkTable3Runtime(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Memory regenerates Table IV (normalized memory).
+func BenchmarkTable4Memory(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5Accuracy regenerates Table V (ADA accuracy vs STA by
+// split rule and reference levels).
+func BenchmarkTable5Accuracy(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6Reference regenerates Table VI (Type 1/2/3 metrics
+// against the VHO-level control chart).
+func BenchmarkTable6Reference(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFig1CCDF regenerates Fig. 1 (per-level CCDFs).
+func BenchmarkFig1CCDF(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig2Seasonality regenerates Fig. 2 (diurnal/weekly shape).
+func BenchmarkFig2Seasonality(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig9SplitError regenerates Fig. 9 (split-bias error decay).
+func BenchmarkFig9SplitError(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig11FFT regenerates Fig. 11 (periodogram peaks). The
+// 12-week series makes this the largest figure bench.
+func BenchmarkFig11FFT(b *testing.B) {
+	p := benchProfile()
+	p.BaseRate = 240
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12SeriesError regenerates Fig. 12 (ADA-vs-STA series
+// error across split rules and reference levels).
+func BenchmarkFig12SeriesError(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkSensitivity sweeps the RT/DT thresholds (§VII "sensitivity
+// test").
+func BenchmarkSensitivity(b *testing.B) { runExperiment(b, "sensitivity") }
+
+// BenchmarkAblateScales measures the multi-timescale ablation.
+func BenchmarkAblateScales(b *testing.B) { runExperiment(b, "ablate-scales") }
+
+// --- Micro-benchmarks on the hot paths. ---
+
+// stepWorkload builds a warm engine plus a stream of steps.
+func stepWorkload(b *testing.B, name string) (algo.Engine, []algo.Timeunit) {
+	b.Helper()
+	p := benchProfile()
+	w, err := experiments.CCDNetWorkload(p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := algo.Config{
+		Theta:         p.Theta,
+		WindowLen:     p.WarmUnits,
+		Rule:          algo.LongTermHistory,
+		RefLevels:     2,
+		NewForecaster: algo.HoltWintersFactory(0.4, 0.05, 0.3, 24),
+	}
+	var e algo.Engine
+	if name == "STA" {
+		e, err = algo.NewSTA(cfg)
+	} else {
+		e, err = algo.NewADA(cfg)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Init(w.Units[:p.WarmUnits]); err != nil {
+		b.Fatal(err)
+	}
+	return e, w.Units[p.WarmUnits:]
+}
+
+// BenchmarkADAStep measures one ADA time instance (the paper's
+// O(|tree|) step).
+func BenchmarkADAStep(b *testing.B) {
+	e, units := stepWorkload(b, "ADA")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(units[i%len(units)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTAStep measures one STA time instance (the O(ℓ·|tree|)
+// strawman), the Table III contrast.
+func BenchmarkSTAStep(b *testing.B) {
+	e, units := stepWorkload(b, "STA")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(units[i%len(units)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHoltWintersUpdate measures the constant-time forecast
+// update at the core of Step 4.
+func BenchmarkHoltWintersUpdate(b *testing.B) {
+	hist := make([]float64, 192)
+	for i := range hist {
+		hist[i] = 100 + 30*float64(i%96)/96
+	}
+	hw, err := forecast.NewHoltWinters(0.4, 0.05, 0.3, 96, hist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hw.Update(hw.Forecast() + 1)
+	}
+}
+
+// BenchmarkDualSeasonUpdate measures the dual-seasonality variant.
+func BenchmarkDualSeasonUpdate(b *testing.B) {
+	hist := make([]float64, 4*168)
+	for i := range hist {
+		hist[i] = 100 + 30*float64(i%24)/24 + 10*float64(i%168)/168
+	}
+	d, err := forecast.NewDualSeason(0.4, 0.05, 0.3, 0.76, 24, 168, hist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Update(d.Forecast() + 1)
+	}
+}
+
+// BenchmarkWindowerObserve measures Step-1 record classification.
+func BenchmarkWindowerObserve(b *testing.B) {
+	p := benchProfile()
+	w, err := experiments.CCDNetWorkload(p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := w.Dataset.Records
+	b.ReportAllocs()
+	b.ResetTimer()
+	var win *stream.Windower
+	for i := 0; i < b.N; i++ {
+		if i%len(recs) == 0 {
+			win, err = stream.NewWindower(time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := win.Observe(recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tiresias/internal/detect"
+	"tiresias/internal/gen"
+	"tiresias/internal/hierarchy"
+)
+
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScoresDetections(t *testing.T) {
+	truth := truthFile{
+		DeltaMinutes: 15,
+		Start:        time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC),
+		Anomalies: []gen.AnomalySpec{
+			{Path: []string{"vho1"}, StartUnit: 150, EndUnit: 154, ExtraPerUnit: 300},
+			{Path: []string{"vho2"}, StartUnit: 160, EndUnit: 162, ExtraPerUnit: 100},
+		},
+	}
+	anoms := []detect.Anomaly{
+		// Matches vho1 at fine granularity (window=96: instance 55 → unit 151).
+		{Key: hierarchy.KeyOf([]string{"vho1", "io2"}), Instance: 55},
+		// Unrelated alarm.
+		{Key: hierarchy.KeyOf([]string{"vho3"}), Instance: 10},
+	}
+	truthPath := writeJSON(t, "truth.json", truth)
+	anomsPath := writeJSON(t, "anoms.json", anoms)
+
+	var out bytes.Buffer
+	err := run([]string{"-truth", truthPath, "-anomalies", anomsPath, "-window", "96"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "detected vho1") {
+		t.Fatalf("vho1 not detected:\n%s", s)
+	}
+	if !strings.Contains(s, "MISSED   vho2") {
+		t.Fatalf("vho2 not reported missed:\n%s", s)
+	}
+	if !strings.Contains(s, "recall=50.0%") {
+		t.Fatalf("recall wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "precision=50.0%") {
+		t.Fatalf("precision wrong:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing flags must fail")
+	}
+	if err := run([]string{"-truth", "/nope", "-anomalies", "/nope"}, &out); err == nil {
+		t.Fatal("missing files must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-truth", bad, "-anomalies", bad}, &out); err == nil {
+		t.Fatal("corrupt truth must fail")
+	}
+}

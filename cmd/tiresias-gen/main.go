@@ -1,0 +1,160 @@
+// Command tiresias-gen emits a synthetic operational dataset in the
+// CSVish line format ("RFC3339,comp1/comp2/...") consumed by
+// cmd/tiresias.
+//
+// Usage:
+//
+//	tiresias-gen -kind ccd-net -days 7 -rate 500 -scale 0.2 \
+//	    -anomaly v1:300:304:400 -out data.csv
+//
+// The -anomaly flag may repeat; each spec is path:startUnit:endUnit:
+// extraPerUnit with "/"-separated path components.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tiresias/internal/gen"
+	"tiresias/internal/stream"
+)
+
+// truthFile is the ground-truth sidecar consumed by cmd/tiresias-eval.
+type truthFile struct {
+	DeltaMinutes int               `json:"deltaMinutes"`
+	Start        time.Time         `json:"start"`
+	Anomalies    []gen.AnomalySpec `json:"anomalies"`
+}
+
+type anomalyFlags []gen.AnomalySpec
+
+func (a *anomalyFlags) String() string { return fmt.Sprintf("%d anomalies", len(*a)) }
+
+func (a *anomalyFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want path:start:end:rate, got %q", s)
+	}
+	start, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad start: %w", err)
+	}
+	end, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return fmt.Errorf("bad end: %w", err)
+	}
+	rate, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad rate: %w", err)
+	}
+	*a = append(*a, gen.AnomalySpec{
+		Path:         strings.Split(parts[0], "/"),
+		StartUnit:    start,
+		EndUnit:      end,
+		ExtraPerUnit: rate,
+	})
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tiresias-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tiresias-gen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "ccd-net", "workload kind: ccd-net | ccd-trouble | scd")
+		days    = fs.Int("days", 7, "number of days to generate")
+		deltaMn = fs.Int("delta", 15, "timeunit size in minutes")
+		rate    = fs.Float64("rate", 200, "expected records per timeunit")
+		scale   = fs.Float64("scale", 0.2, "network hierarchy scale (1 = paper size)")
+		zipf    = fs.Float64("zipf", 0.9, "Zipf skew across categories")
+		seed    = fs.Int64("seed", 1, "random seed")
+		out     = fs.String("out", "-", "output file (- for stdout)")
+		truth   = fs.String("truth", "", "also write injected ground truth as JSON to this file")
+		anoms   anomalyFlags
+	)
+	fs.Var(&anoms, "anomaly", "inject anomaly path:startUnit:endUnit:extraPerUnit (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	delta := time.Duration(*deltaMn) * time.Minute
+	units := *days * int(24*time.Hour/delta)
+	cfg := gen.Config{
+		Start:           time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC),
+		Units:           units,
+		Delta:           delta,
+		BaseRate:        *rate,
+		DiurnalStrength: 0.6,
+		WeeklyStrength:  0.35,
+		ZipfS:           *zipf,
+		Seed:            *seed,
+		Anomalies:       anoms,
+	}
+	switch *kind {
+	case "ccd-net":
+		cfg.Shape = gen.CCDNetworkShape(*scale)
+	case "ccd-trouble":
+		cfg.Shape = gen.CCDTroubleShape()
+		cfg.Mix = gen.CCDTicketMix()
+	case "scd":
+		cfg.Shape = gen.SCDNetworkShape(*scale)
+		cfg.WeeklyStrength = 0
+		cfg.DiurnalStrength = 0.35
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if *truth != "" {
+		tf, err := os.Create(*truth)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(tf)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(truthFile{
+			DeltaMinutes: *deltaMn,
+			Start:        cfg.Start,
+			Anomalies:    ds.Truth,
+		})
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# tiresias-gen kind=%s days=%d delta=%v rate=%v records=%d anomalies=%d\n",
+		*kind, *days, delta, *rate, len(ds.Records), len(ds.Truth))
+	for _, a := range ds.Truth {
+		fmt.Fprintf(bw, "# truth %s units [%d,%d) extra %.1f/unit\n",
+			strings.Join(a.Path, "/"), a.StartUnit, a.EndUnit, a.ExtraPerUnit)
+	}
+	for _, r := range ds.Records {
+		fmt.Fprintln(bw, stream.MarshalCSVish(r))
+	}
+	return bw.Flush()
+}

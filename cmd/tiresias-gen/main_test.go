@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-kind", "ccd-net", "-days", "1", "-delta", "60", "-rate", "50",
+		"-scale", "0.05", "-seed", "3",
+		"-anomaly", "vho0:10:12:100",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("only %d lines emitted", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# tiresias-gen") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	foundTruth := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# truth vho0") {
+			foundTruth = true
+		}
+	}
+	if !foundTruth {
+		t.Fatal("missing truth comment")
+	}
+	// Data lines parse as time,path.
+	for _, l := range lines[2:10] {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !strings.Contains(l, ",") || !strings.Contains(l, "/") {
+			t.Fatalf("bad data line: %q", l)
+		}
+	}
+}
+
+func TestRunKinds(t *testing.T) {
+	for _, kind := range []string{"ccd-trouble", "scd"} {
+		var out bytes.Buffer
+		err := run([]string{"-kind", kind, "-days", "1", "-delta", "60", "-rate", "20", "-scale", "0.02"}, &out)
+		if err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("kind %s: empty output", kind)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown kind", args: []string{"-kind", "nope"}},
+		{name: "bad anomaly syntax", args: []string{"-anomaly", "xyz"}},
+		{name: "bad anomaly start", args: []string{"-anomaly", "a:x:2:3"}},
+		{name: "bad anomaly end", args: []string{"-anomaly", "a:1:x:3"}},
+		{name: "bad anomaly rate", args: []string{"-anomaly", "a:1:2:x"}},
+		{name: "anomaly out of range", args: []string{"-days", "1", "-anomaly", "vho0:0:99999:5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("run must fail")
+			}
+		})
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out bytes.Buffer
+	err := run([]string{"-days", "1", "-delta", "60", "-rate", "5", "-scale", "0.02", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("stdout must stay empty with -out")
+	}
+}
+
+func TestAnomalyFlagsString(t *testing.T) {
+	var a anomalyFlags
+	if a.String() != "0 anomalies" {
+		t.Fatalf("String = %q", a.String())
+	}
+}

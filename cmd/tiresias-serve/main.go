@@ -1,0 +1,65 @@
+// Command tiresias-serve exposes a stored anomaly database over HTTP —
+// the reproduction's stand-in for the paper's JavaScript/SQL front-end
+// (Fig. 3(f)).
+//
+// Usage:
+//
+//	tiresias-serve -store anomalies.json -addr :8080
+//	curl 'localhost:8080/anomalies?under=vho1&from=0&limit=20'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"tiresias/internal/report"
+)
+
+func main() {
+	srv, n, err := buildServer(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tiresias-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tiresias-serve: %d anomalies loaded, listening on %s\n", n, srv.Addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "tiresias-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServer parses flags, loads the store, and returns the
+// configured (unstarted) server plus the number of loaded anomalies.
+func buildServer(args []string) (*http.Server, int, error) {
+	fs := flag.NewFlagSet("tiresias-serve", flag.ContinueOnError)
+	var (
+		storePath = fs.String("store", "", "anomaly JSON produced by cmd/tiresias -store")
+		addr      = fs.String("addr", ":8080", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, 0, err
+	}
+	st := report.NewStore()
+	if *storePath != "" {
+		f, err := os.Open(*storePath)
+		if err != nil {
+			return nil, 0, err
+		}
+		err = st.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return &http.Server{
+		Addr: *addr,
+		// The dashboard handler serves the HTML report at "/" and
+		// keeps the JSON API at /anomalies and /stats.
+		Handler:           st.DashboardHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}, st.Len(), nil
+}

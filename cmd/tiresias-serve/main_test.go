@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tiresias/internal/detect"
+	"tiresias/internal/hierarchy"
+	"tiresias/internal/report"
+)
+
+func TestBuildServerLoadsStore(t *testing.T) {
+	st := report.NewStore()
+	st.Add(
+		detect.Anomaly{Key: hierarchy.KeyOf([]string{"vho1"}), Depth: 1, Instance: 4},
+		detect.Anomaly{Key: hierarchy.KeyOf([]string{"vho2", "io1"}), Depth: 2, Instance: 9},
+	)
+	path := filepath.Join(t.TempDir(), "anoms.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv, n, err := buildServer([]string{"-store", path, "-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d anomalies, want 2", n)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/anomalies?under=vho2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []detect.Anomaly
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Instance != 9 {
+		t.Fatalf("query result = %+v", got)
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	if _, _, err := buildServer([]string{"-store", "/does/not/exist"}); err == nil {
+		t.Fatal("missing store must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildServer([]string{"-store", bad}); err == nil {
+		t.Fatal("corrupt store must fail")
+	}
+}
+
+func TestBuildServerEmpty(t *testing.T) {
+	srv, n, err := buildServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || srv.Addr != ":8080" {
+		t.Fatalf("defaults: n=%d addr=%s", n, srv.Addr)
+	}
+}

@@ -1,0 +1,142 @@
+// Command tiresias runs the full detection pipeline over a dataset
+// file and prints (or stores) the anomalies it finds.
+//
+// Usage:
+//
+//	tiresias -in data.csv -delta 15m -window 672 -theta 10 \
+//	    -rt 2.8 -dt 8 -algo ada -rule long-term-history -ref 2 \
+//	    -store anomalies.json
+//
+// Input is either the CSVish format of tiresias-gen ("time,path") or
+// JSON lines ({"path":[...],"time":"..."}) selected with -format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/core"
+	"tiresias/internal/detect"
+	"tiresias/internal/report"
+	"tiresias/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tiresias:", err)
+		os.Exit(1)
+	}
+}
+
+func parseRule(s string) (algo.SplitRule, error) {
+	switch s {
+	case "uniform":
+		return algo.Uniform, nil
+	case "last-time-unit":
+		return algo.LastTimeUnit, nil
+	case "long-term-history":
+		return algo.LongTermHistory, nil
+	case "ewma":
+		return algo.EWMARule, nil
+	default:
+		return 0, fmt.Errorf("unknown split rule %q", s)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tiresias", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "-", "input file (- for stdin)")
+		format  = fs.String("format", "csv", "input format: csv | jsonl")
+		delta   = fs.Duration("delta", 15*time.Minute, "timeunit size Δ")
+		window  = fs.Int("window", 672, "sliding window length ℓ in timeunits")
+		theta   = fs.Float64("theta", 10, "heavy-hitter threshold θ")
+		rt      = fs.Float64("rt", 2.8, "relative sensitivity threshold RT")
+		dt      = fs.Float64("dt", 8, "absolute sensitivity threshold DT")
+		algoSel = fs.String("algo", "ada", "engine: ada | sta")
+		ruleSel = fs.String("rule", "long-term-history", "split rule: uniform | last-time-unit | long-term-history | ewma")
+		ref     = fs.Int("ref", 2, "reference time-series levels h")
+		storeTo = fs.String("store", "", "also write anomalies as JSON to this file")
+		quiet   = fs.Bool("quiet", false, "suppress per-anomaly lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var src stream.Source
+	switch *format {
+	case "csv":
+		src = stream.NewCSVishSource(r)
+	case "jsonl":
+		src = stream.NewJSONLSource(r)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	rule, err := parseRule(*ruleSel)
+	if err != nil {
+		return err
+	}
+	opts := []core.Option{
+		core.WithDelta(*delta),
+		core.WithWindowLen(*window),
+		core.WithTheta(*theta),
+		core.WithThresholds(detect.Thresholds{RT: *rt, DT: *dt}),
+		core.WithSplitRule(rule),
+		core.WithReferenceLevels(*ref),
+	}
+	switch *algoSel {
+	case "ada":
+		opts = append(opts, core.WithAlgorithm(core.AlgorithmADA))
+	case "sta":
+		opts = append(opts, core.WithAlgorithm(core.AlgorithmSTA))
+	default:
+		return fmt.Errorf("unknown algo %q", *algoSel)
+	}
+	t, err := core.New(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := t.Run(src)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		for _, a := range res.Anomalies {
+			fmt.Fprintf(stdout, "anomaly instance=%d time=%s node=%s actual=%.1f forecast=%.1f\n",
+				a.Instance, a.Time.Format(time.RFC3339), a.Key, a.Actual, a.Forecast)
+		}
+	}
+	fmt.Fprintf(stdout, "processed %d timeunits; %d anomalies; %d heavy hitters; stage times: update=%v series=%v detect=%v\n",
+		res.Units, len(res.Anomalies), res.HeavyHitterCount,
+		res.Timings.UpdatingHierarchies.Round(time.Millisecond),
+		res.Timings.CreatingTimeSeries.Round(time.Millisecond),
+		res.Timings.DetectingAnomalies.Round(time.Millisecond))
+
+	if *storeTo != "" {
+		st := report.NewStore()
+		st.Add(res.Anomalies...)
+		f, err := os.Create(*storeTo)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := st.Save(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

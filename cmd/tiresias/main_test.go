@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tiresias/internal/gen"
+	"tiresias/internal/stream"
+)
+
+// writeDataset emits a small CSV dataset with an injected spike and
+// returns its path plus the spike window.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := gen.Config{
+		Shape:           gen.Shape{Degrees: []int{3, 2}, LevelPrefix: []string{"v", "io"}},
+		Start:           time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC),
+		Units:           72,
+		Delta:           15 * time.Minute,
+		BaseRate:        30,
+		DiurnalStrength: 0.4,
+		ZipfS:           0.7,
+		Seed:            9,
+		Anomalies: []gen.AnomalySpec{{
+			Path: []string{"v1"}, StartUnit: 60, EndUnit: 64, ExtraPerUnit: 300,
+		}},
+	}
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range ds.Records {
+		b.WriteString(stream.MarshalCSVish(r))
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDetectsAndStores(t *testing.T) {
+	path := writeDataset(t)
+	storePath := filepath.Join(t.TempDir(), "anoms.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", path, "-window", "48", "-theta", "4",
+		"-rt", "2.5", "-dt", "8", "-store", storePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "anomaly ") {
+		t.Fatalf("no anomalies reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "processed 24 timeunits") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stored []map[string]any
+	if err := json.Unmarshal(raw, &stored); err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) == 0 {
+		t.Fatal("store file empty")
+	}
+}
+
+func TestRunSTAEngine(t *testing.T) {
+	path := writeDataset(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-window", "48", "-theta", "4", "-algo", "sta", "-quiet"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "anomaly ") {
+		t.Fatal("-quiet must suppress per-anomaly lines")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDataset(t)
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "missing file", args: []string{"-in", "/does/not/exist"}},
+		{name: "bad format", args: []string{"-in", path, "-format", "xml"}},
+		{name: "bad algo", args: []string{"-in", path, "-algo", "magic"}},
+		{name: "bad rule", args: []string{"-in", path, "-rule", "nope"}},
+		{name: "bad thresholds", args: []string{"-in", path, "-rt", "0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("run must fail")
+			}
+		})
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	for _, s := range []string{"uniform", "last-time-unit", "long-term-history", "ewma"} {
+		if _, err := parseRule(s); err != nil {
+			t.Fatalf("parseRule(%s): %v", s, err)
+		}
+	}
+	if _, err := parseRule("x"); err == nil {
+		t.Fatal("unknown rule must fail")
+	}
+}
+
+func TestRunJSONLInput(t *testing.T) {
+	// Convert a few CSV records to JSONL and run.
+	recs := []stream.Record{
+		{Path: []string{"a", "b"}, Time: time.Date(2010, 5, 3, 0, 1, 0, 0, time.UTC)},
+		{Path: []string{"a", "c"}, Time: time.Date(2010, 5, 3, 0, 20, 0, 0, time.UTC)},
+		{Path: []string{"a", "b"}, Time: time.Date(2010, 5, 3, 0, 40, 0, 0, time.UTC)},
+	}
+	var b strings.Builder
+	for _, r := range recs {
+		j, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "data.jsonl")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-format", "jsonl", "-window", "2", "-theta", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: generate a day of synthetic operational data with one
+// injected outage spike, run Tiresias over it, and print what it
+// found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tiresias/internal/core"
+	"tiresias/internal/detect"
+	"tiresias/internal/gen"
+	"tiresias/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		warmUnits = 96 // one day of 15-minute units for warmup
+		runUnits  = 48 // half a day of detection
+	)
+	// A small 2-level network hierarchy: 4 regions x 3 offices.
+	cfg := gen.Config{
+		Shape:           gen.Shape{Degrees: []int{4, 3}, LevelPrefix: []string{"region", "office"}},
+		Start:           time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC),
+		Units:           warmUnits + runUnits,
+		Delta:           15 * time.Minute,
+		BaseRate:        60,
+		DiurnalStrength: 0.5,
+		ZipfS:           0.8,
+		Seed:            7,
+		// Inject a burst of customer calls for region1 at midday.
+		Anomalies: []gen.AnomalySpec{{
+			Path:         []string{"region1"},
+			StartUnit:    warmUnits + 20,
+			EndUnit:      warmUnits + 24,
+			ExtraPerUnit: 500,
+		}},
+	}
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d records over %d timeunits (spike at region1, units %d-%d)\n",
+		len(ds.Records), cfg.Units, warmUnits+20, warmUnits+24)
+
+	t, err := core.New(
+		core.WithDelta(15*time.Minute),
+		core.WithWindowLen(warmUnits),
+		core.WithTheta(5),
+		core.WithSeasonality(1.0, 96), // one daily season
+		core.WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
+	)
+	if err != nil {
+		return err
+	}
+	res, err := t.Run(stream.NewSliceSource(ds.Records))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("screened %d detection timeunits, %d heavy hitters live\n",
+		res.Units, res.HeavyHitterCount)
+	for _, a := range res.Anomalies {
+		fmt.Printf("  ANOMALY %s at %s: observed %.0f calls, expected %.1f (x%.1f)\n",
+			a.Key, a.Time.Format("15:04"), a.Actual, a.Forecast, a.Score())
+	}
+	if len(res.Anomalies) == 0 {
+		return fmt.Errorf("expected to detect the injected spike")
+	}
+	return nil
+}

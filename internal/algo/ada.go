@@ -1,0 +1,641 @@
+package algo
+
+import (
+	"sort"
+	"time"
+
+	"tiresias/internal/forecast"
+	"tiresias/internal/hierarchy"
+	"tiresias/internal/series"
+	"tiresias/internal/shhh"
+)
+
+// nodeSeries is the per-heavy-hitter state: the actual and forecast
+// series (n.actual / n.forecast in Fig. 5) plus the live forecasting
+// model and, optionally, the coarser timescales of §V-B6.
+type nodeSeries struct {
+	actual *series.Ring
+	fcast  *series.Ring
+	model  forecast.Linear
+	multi  *series.MultiScale
+}
+
+// ADA is the paper's adaptive engine (§V-B, Figs. 5–8). It maintains a
+// single hierarchy whose heavy-hitter nodes carry time series, and at
+// each time instance moves those series to the new heavy-hitter
+// positions with SPLIT (top-down) and MERGE (bottom-up) instead of
+// reconstructing them, giving O(|tree|) work per instance.
+type ADA struct {
+	cfg      Config
+	tree     *hierarchy.Tree
+	instance int
+	inited   bool
+
+	// Per-node state, indexed by node ID and grown with the tree.
+	state    []*nodeSeries // non-nil iff the node is in SHHH (plus the root)
+	inSHHH   []bool
+	weight   []float64 // modified weight W_n of the current instance
+	rawA     []float64 // raw aggregated weight A_n of the current instance
+	ishh     []bool
+	tosplit  []bool
+	gotSplit []bool // received a split series this instance (for §V-B5 repair)
+
+	// Split-rule statistics (X_n), per node.
+	prevA []float64 // raw weight in the previous timeunit
+	cumA  []float64 // cumulative raw weight over all timeunits
+	ewmaA []float64 // exponentially smoothed raw weight
+
+	// Reference series for nodes in the top h levels (§V-B5).
+	refActual map[int]*series.Ring
+	refModel  map[int]forecast.Linear
+}
+
+var _ Engine = (*ADA)(nil)
+
+// NewADA constructs an ADA engine.
+func NewADA(cfg Config) (*ADA, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &ADA{
+		cfg:       cfg,
+		tree:      hierarchy.New(),
+		refActual: make(map[int]*series.Ring),
+		refModel:  make(map[int]forecast.Linear),
+	}, nil
+}
+
+// Name implements Engine.
+func (a *ADA) Name() string { return "ADA" }
+
+// Tree implements Engine.
+func (a *ADA) Tree() *hierarchy.Tree { return a.tree }
+
+// grow extends the per-node state slices to cover newly inserted
+// nodes.
+func (a *ADA) grow() {
+	n := a.tree.Len()
+	for len(a.state) < n {
+		a.state = append(a.state, nil)
+		a.inSHHH = append(a.inSHHH, false)
+		a.weight = append(a.weight, 0)
+		a.rawA = append(a.rawA, 0)
+		a.ishh = append(a.ishh, false)
+		a.tosplit = append(a.tosplit, false)
+		a.gotSplit = append(a.gotSplit, false)
+		a.prevA = append(a.prevA, 0)
+		a.cumA = append(a.cumA, 0)
+		a.ewmaA = append(a.ewmaA, 0)
+	}
+}
+
+// Init implements Engine: the first time instance performs the same
+// work as STA (lines 2-5 of Fig. 5), seeding series and models for the
+// initial SHHH set, the root, and the reference nodes.
+func (a *ADA) Init(window []Timeunit) (*StepState, error) {
+	if a.inited {
+		return nil, errState
+	}
+	a.inited = true
+
+	start := time.Now()
+	// Materialize the tree and per-unit counts.
+	units := make([]Timeunit, 0, a.cfg.WindowLen)
+	for _, u := range window {
+		cp := make(Timeunit, len(u))
+		for k, v := range u {
+			cp[k] = v
+			a.tree.InsertKey(k)
+		}
+		units = append(units, cp)
+		if len(units) > a.cfg.WindowLen {
+			units = units[1:]
+		}
+	}
+	if len(units) == 0 {
+		units = append(units, Timeunit{})
+	}
+	a.grow()
+	newest := units[len(units)-1]
+	res := shhh.Compute(a.tree, newest, a.cfg.Theta)
+	copy(a.weight, res.W)
+	copy(a.rawA, res.A)
+	copy(a.ishh, res.InSet)
+	tUpdate := time.Since(start)
+
+	// Reconstruct series for the initial SHHH members plus the root
+	// (the root always holds the residual series so that it can
+	// re-enter SHHH without information loss).
+	start = time.Now()
+	owners := append([]*hierarchy.Node(nil), res.Set...)
+	if !res.IsHH(a.tree.Root()) {
+		owners = append(owners, a.tree.Root())
+	}
+	hist := make(map[int][]float64, len(owners))
+	for _, n := range owners {
+		hist[n.ID] = make([]float64, 0, len(units))
+	}
+	for _, u := range units {
+		w := shhh.FrozenWeights(a.tree, u, res.InSet)
+		for _, n := range owners {
+			hist[n.ID] = append(hist[n.ID], w[n.ID])
+		}
+	}
+	for _, n := range owners {
+		ts := hist[n.ID]
+		ns := a.newNodeSeries()
+		ns.actual.SetValues(ts)
+		ns.model = a.cfg.NewForecaster(ts[:len(ts)-1])
+		// Reconstruct the forecast trajectory by replay so the
+		// forecast ring aligns with the actual ring.
+		replay := a.cfg.NewForecaster(nil)
+		for _, v := range ts {
+			ns.fcast.Append(replay.Forecast())
+			replay.Update(v)
+		}
+		if ns.multi != nil {
+			for _, v := range ts {
+				ns.multi.Update(v)
+			}
+		}
+		// Advance the live model over the newest value so state is
+		// "post-instance", matching Step's epilogue.
+		ns.model.Update(ts[len(ts)-1])
+		a.state[n.ID] = ns
+		a.inSHHH[n.ID] = res.IsHH(n)
+	}
+
+	// Reference series for the top h levels (§V-B5, raw weights A_n)
+	// and split-rule statistics, seeded in one pass over the window.
+	for depth := 1; depth <= a.cfg.RefLevels; depth++ {
+		for _, n := range a.tree.AtDepth(depth) {
+			a.refActual[n.ID] = series.NewRing(a.cfg.WindowLen)
+		}
+	}
+	for _, u := range units {
+		agg := shhh.Aggregate(a.tree, u)
+		for id, r := range a.refActual {
+			r.Append(agg[id])
+		}
+		for id := range agg {
+			a.observeRuleStats(id, agg[id])
+		}
+	}
+	for id, r := range a.refActual {
+		vals := r.Values()
+		if len(vals) == 0 {
+			a.refModel[id] = a.cfg.NewForecaster(nil)
+			continue
+		}
+		a.refModel[id] = a.cfg.NewForecaster(vals[:len(vals)-1])
+		a.refModel[id].Update(vals[len(vals)-1])
+	}
+	tSeries := time.Since(start)
+
+	start = time.Now()
+	st := a.snapshot()
+	st.Timings = StageTimings{
+		UpdatingHierarchies: tUpdate,
+		CreatingTimeSeries:  tSeries,
+		DetectingAnomalies:  time.Since(start),
+	}
+	return st, nil
+}
+
+func (a *ADA) newNodeSeries() *nodeSeries {
+	ns := &nodeSeries{
+		actual: series.NewRing(a.cfg.WindowLen),
+		fcast:  series.NewRing(a.cfg.WindowLen),
+	}
+	if a.cfg.Eta > 1 {
+		ms, err := series.NewMultiScale(a.cfg.Lambda, a.cfg.Eta, a.cfg.WindowLen)
+		if err == nil {
+			ns.multi = ms
+		}
+	}
+	return ns
+}
+
+// observeRuleStats updates X_n statistics with the node's raw weight
+// for the elapsed timeunit.
+func (a *ADA) observeRuleStats(id int, rawA float64) {
+	a.prevA[id] = rawA
+	a.cumA[id] += rawA
+	a.ewmaA[id] = a.cfg.RuleAlpha*rawA + (1-a.cfg.RuleAlpha)*a.ewmaA[id]
+}
+
+// ruleX returns the split-rule weight X_n for a node.
+func (a *ADA) ruleX(id int) float64 {
+	switch a.cfg.Rule {
+	case Uniform:
+		return 1
+	case LastTimeUnit:
+		return a.prevA[id]
+	case LongTermHistory:
+		return a.cumA[id]
+	default: // EWMARule
+		return a.ewmaA[id]
+	}
+}
+
+// Step implements Engine: lines 6-29 of Fig. 5.
+func (a *ADA) Step(u Timeunit) (*StepState, error) {
+	if !a.inited {
+		return nil, errState
+	}
+	a.instance++
+
+	// --- Initialization stage (lines 6-12). ---
+	start := time.Now()
+	for k := range u {
+		a.tree.InsertKey(k)
+	}
+	a.grow()
+	for id := range a.weight {
+		a.weight[id] = 0
+		a.rawA[id] = 0
+		a.tosplit[id] = false
+		a.gotSplit[id] = false
+	}
+	for k, v := range u {
+		n := a.tree.Lookup(k)
+		a.weight[n.ID] += v
+		a.rawA[n.ID] += v
+	}
+	// Update-Ishh-and-Weight (Fig. 6), as a bottom-up sweep: W_n and
+	// A_n of the current timeunit, with ishh ≡ W_n >= θ.
+	a.tree.WalkBottomUp(func(n *hierarchy.Node) {
+		for _, c := range n.Children() {
+			a.rawA[n.ID] += a.rawA[c.ID]
+			if !a.ishh[c.ID] {
+				a.weight[n.ID] += a.weight[c.ID]
+			}
+		}
+		a.ishh[n.ID] = a.weight[n.ID] >= a.cfg.Theta
+	})
+	tUpdate := time.Since(start)
+
+	// --- SHHH and time-series adaptation (lines 13-25). ---
+	start = time.Now()
+	// Mark ancestors of newly heavy nodes for splitting (lines 13-17).
+	a.tree.WalkBottomUp(func(n *hierarchy.Node) {
+		if (a.ishh[n.ID] || a.tosplit[n.ID]) && !a.inSHHH[n.ID] {
+			if p := n.Parent(); p != nil {
+				a.tosplit[p.ID] = true
+			}
+		}
+	})
+	// Top-down split pass (lines 18-20; the root is always eligible).
+	a.tree.WalkTopDown(func(n *hierarchy.Node) {
+		if a.tosplit[n.ID] && (a.inSHHH[n.ID] || n.Parent() == nil) {
+			a.split(n)
+		}
+	})
+	// Bottom-up merge pass (lines 21-23).
+	a.tree.WalkBottomUp(func(n *hierarchy.Node) {
+		if a.inSHHH[n.ID] && !a.ishh[n.ID] {
+			a.merge(n)
+		}
+	})
+	// Root membership (lines 24-25). The root keeps its residual
+	// series either way.
+	root := a.tree.Root()
+	a.inSHHH[root.ID] = a.ishh[root.ID]
+	if a.state[root.ID] == nil {
+		a.state[root.ID] = a.freshSeries(root)
+	}
+	// Repair split-induced bias with reference series (§V-B5).
+	if a.cfg.RefLevels > 0 {
+		a.repairFromReferences()
+	}
+	// Append the new weights to every member's series (lines 26-29).
+	for _, n := range a.tree.Nodes() {
+		id := n.ID
+		if !a.inSHHH[id] && n != root {
+			continue
+		}
+		ns := a.state[id]
+		if ns == nil {
+			// A heavy hitter that received no series through
+			// split or merge (possible only with direct interior
+			// counts); start a fresh one.
+			ns = a.freshSeries(n)
+			a.state[id] = ns
+		}
+		ns.fcast.Append(ns.model.Forecast())
+		ns.actual.Append(a.weight[id])
+		ns.model.Update(a.weight[id])
+		if ns.multi != nil {
+			ns.multi.Update(a.weight[id])
+		}
+	}
+	// Reference series and split-rule statistics.
+	for id, r := range a.refActual {
+		r.Append(a.rawA[id])
+		a.refModel[id].Update(a.rawA[id])
+	}
+	a.maintainRefCoverage()
+	for id := range a.rawA {
+		a.observeRuleStats(id, a.rawA[id])
+	}
+	tSeries := time.Since(start)
+
+	// --- Detection stage: forecasts were produced incrementally;
+	// assembling the snapshot is the remaining work. ---
+	start = time.Now()
+	st := a.snapshot()
+	st.Timings = StageTimings{
+		UpdatingHierarchies: tUpdate,
+		CreatingTimeSeries:  tSeries,
+		DetectingAnomalies:  time.Since(start),
+	}
+	return st, nil
+}
+
+// freshSeries creates an empty series whose model is seeded from
+// nothing (EWMA-like behaviour until history accumulates).
+func (a *ADA) freshSeries(n *hierarchy.Node) *nodeSeries {
+	ns := a.newNodeSeries()
+	ns.model = a.cfg.NewForecaster(nil)
+	_ = n
+	return ns
+}
+
+// split implements SPLIT(n) (Fig. 7): distribute n's series to its
+// non-member children with scale ratios from the split rule. Children
+// whose ratio is zero and whose subtree holds no heavy hitter are
+// skipped (they would receive an all-zero series and immediately merge
+// back); their weight stays accounted at n.
+func (a *ADA) split(n *hierarchy.Node) {
+	candidates := make([]*hierarchy.Node, 0, n.Degree())
+	eligible := false
+	for _, c := range n.Children() {
+		if a.inSHHH[c.ID] {
+			continue
+		}
+		candidates = append(candidates, c)
+		if a.weight[c.ID] >= a.cfg.Theta || a.tosplit[c.ID] {
+			eligible = true
+		}
+	}
+	if !eligible || len(candidates) == 0 {
+		return
+	}
+	var sumX float64
+	xs := make([]float64, len(candidates))
+	for i, c := range candidates {
+		xs[i] = a.ruleX(c.ID)
+		if xs[i] < 0 {
+			xs[i] = 0
+		}
+		sumX += xs[i]
+	}
+	if sumX == 0 {
+		for i := range xs {
+			xs[i] = 1
+		}
+		sumX = float64(len(xs))
+	}
+	parent := a.state[n.ID]
+	if parent == nil {
+		parent = a.freshSeries(n)
+	}
+	scaled := func(ratio float64) *nodeSeries {
+		child := &nodeSeries{
+			actual: parent.actual.Clone(),
+			fcast:  parent.fcast.Clone(),
+			model:  parent.model.Clone(),
+		}
+		child.actual.Scale(ratio)
+		child.fcast.Scale(ratio)
+		child.model.Scale(ratio)
+		if parent.multi != nil {
+			child.multi = parent.multi.Clone()
+			child.multi.Scale(ratio)
+		}
+		return child
+	}
+	skippedLight := 0
+	for i, c := range candidates {
+		ratio := xs[i] / sumX
+		needsSeries := a.weight[c.ID] >= a.cfg.Theta || a.tosplit[c.ID]
+		if ratio == 0 && !needsSeries {
+			// In the paper this child would receive a zero-scaled
+			// series and immediately merge back into n; short-
+			// circuit that round trip below.
+			skippedLight++
+			continue
+		}
+		a.state[c.ID] = scaled(ratio)
+		a.inSHHH[c.ID] = true
+		a.gotSplit[c.ID] = true
+	}
+	a.state[n.ID] = nil
+	a.inSHHH[n.ID] = false
+	if skippedLight > 0 {
+		// Emulate the skipped children's merge-back: n stays a
+		// member holding the zero residual series (the sum of the
+		// zero-scaled series the skipped children would have
+		// returned). If n is light it will merge upward normally.
+		a.state[n.ID] = scaled(0)
+		a.inSHHH[n.ID] = true
+	}
+	if n.Parent() == nil && a.state[n.ID] == nil {
+		// The root must keep a (now empty) residual series holder.
+		a.state[n.ID] = a.freshSeries(n)
+	}
+}
+
+// merge implements MERGE(n) (Fig. 8): fold the series of n — and of
+// any sibling members that are also below threshold — into the parent.
+func (a *ADA) merge(n *hierarchy.Node) {
+	if a.ishh[n.ID] {
+		return
+	}
+	p := n.Parent()
+	if p == nil {
+		return // root handled by the membership rule
+	}
+	dst := a.state[p.ID]
+	if dst == nil {
+		dst = a.freshSeries(p)
+		a.state[p.ID] = dst
+	}
+	for _, c := range p.Children() {
+		if !a.inSHHH[c.ID] || a.ishh[c.ID] {
+			continue
+		}
+		src := a.state[c.ID]
+		if src != nil {
+			// Series and model addition are exact thanks to
+			// Holt-Winters linearity (Lemma 2).
+			_ = dst.actual.AddRing(src.actual)
+			_ = dst.fcast.AddRing(src.fcast)
+			if err := dst.model.Add(src.model); err != nil {
+				// Shape mismatch (fresh EWMA vs seasoned HW):
+				// refit from the merged actual series.
+				vals := dst.actual.Values()
+				dst.model = a.cfg.NewForecaster(vals)
+			}
+			if dst.multi != nil && src.multi != nil {
+				_ = dst.multi.Add(src.multi)
+			}
+		}
+		a.state[c.ID] = nil
+		a.inSHHH[c.ID] = false
+	}
+	a.inSHHH[p.ID] = true
+}
+
+// repairFromReferences implements §V-B5: for every node that received
+// a (possibly biased) split series this instance and has a reference
+// series, replace its series with T_REF − Σ series of its heavy-hitter
+// descendants.
+func (a *ADA) repairFromReferences() {
+	for _, n := range a.tree.Nodes() {
+		id := n.ID
+		if !a.gotSplit[id] || !a.inSHHH[id] {
+			continue
+		}
+		ref, ok := a.refActual[id]
+		if !ok {
+			continue
+		}
+		repaired := ref.Clone()
+		a.subtractDescendants(n, repaired)
+		ns := a.state[id]
+		if ns == nil {
+			continue
+		}
+		ns.actual = repaired
+		vals := repaired.Values()
+		if len(vals) > 1 {
+			ns.model = a.cfg.NewForecaster(vals[:len(vals)-1])
+			ns.fcast = series.NewRing(a.cfg.WindowLen)
+			replay := a.cfg.NewForecaster(nil)
+			for _, v := range vals {
+				ns.fcast.Append(replay.Forecast())
+				replay.Update(v)
+			}
+			ns.model.Update(vals[len(vals)-1])
+		}
+	}
+}
+
+// subtractDescendants subtracts from r the actual series of every
+// heavy-hitter descendant of n (excluding n itself), stopping descent
+// at each member (deeper members are already discounted from it).
+func (a *ADA) subtractDescendants(n *hierarchy.Node, r *series.Ring) {
+	var walk func(m *hierarchy.Node)
+	walk = func(m *hierarchy.Node) {
+		for _, c := range m.Children() {
+			if a.inSHHH[c.ID] && a.state[c.ID] != nil {
+				neg := a.state[c.ID].actual.Clone()
+				neg.Scale(-1)
+				_ = r.AddRing(neg)
+				continue
+			}
+			walk(c)
+		}
+	}
+	walk(n)
+}
+
+// maintainRefCoverage creates reference series for nodes that newly
+// appeared in the top h levels.
+func (a *ADA) maintainRefCoverage() {
+	for depth := 1; depth <= a.cfg.RefLevels; depth++ {
+		for _, n := range a.tree.AtDepth(depth) {
+			if _, ok := a.refActual[n.ID]; ok {
+				continue
+			}
+			r := series.NewRing(a.cfg.WindowLen)
+			r.Append(a.rawA[n.ID])
+			a.refActual[n.ID] = r
+			a.refModel[n.ID] = a.cfg.NewForecaster(nil)
+			a.refModel[n.ID].Update(a.rawA[n.ID])
+		}
+	}
+}
+
+// snapshot assembles the StepState from current membership.
+func (a *ADA) snapshot() *StepState {
+	st := &StepState{Instance: a.instance}
+	for _, n := range a.tree.Nodes() {
+		if !a.inSHHH[n.ID] {
+			continue
+		}
+		ns := a.state[n.ID]
+		var actual, fc float64
+		if ns != nil {
+			if v, ok := ns.actual.Last(); ok {
+				actual = v
+			}
+			if v, ok := ns.fcast.Last(); ok {
+				fc = v
+			}
+		}
+		st.HeavyHitters = append(st.HeavyHitters, HeavyHitter{Node: n, Actual: actual, Forecast: fc})
+	}
+	sort.Slice(st.HeavyHitters, func(i, j int) bool {
+		return st.HeavyHitters[i].Node.ID < st.HeavyHitters[j].Node.ID
+	})
+	return st
+}
+
+// SeriesOf implements Engine.
+func (a *ADA) SeriesOf(n *hierarchy.Node) []float64 {
+	if n.ID >= len(a.state) || a.state[n.ID] == nil {
+		return nil
+	}
+	return a.state[n.ID].actual.Values()
+}
+
+// ForecastSeriesOf implements Engine.
+func (a *ADA) ForecastSeriesOf(n *hierarchy.Node) []float64 {
+	if n.ID >= len(a.state) || a.state[n.ID] == nil {
+		return nil
+	}
+	return a.state[n.ID].fcast.Values()
+}
+
+// MultiScaleOf returns the node's coarse-timescale series at scale i
+// (0 = base), or nil when multi-scale tracking is disabled or the node
+// holds no series.
+func (a *ADA) MultiScaleOf(n *hierarchy.Node, i int) []float64 {
+	if n.ID >= len(a.state) || a.state[n.ID] == nil || a.state[n.ID].multi == nil {
+		return nil
+	}
+	return append([]float64(nil), a.state[n.ID].multi.Series(i)...)
+}
+
+// HeavyHitterNodes returns the current SHHH members in node-ID order.
+func (a *ADA) HeavyHitterNodes() []*hierarchy.Node {
+	var out []*hierarchy.Node
+	for _, n := range a.tree.Nodes() {
+		if a.inSHHH[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Memory implements Engine.
+func (a *ADA) Memory() MemoryStats {
+	m := MemoryStats{TreeNodes: a.tree.Len()}
+	for _, ns := range a.state {
+		if ns == nil {
+			continue
+		}
+		m.SeriesFloats += ns.actual.Len() + ns.fcast.Len()
+		if ns.multi != nil {
+			m.SeriesFloats += ns.multi.Total()
+		}
+	}
+	for _, r := range a.refActual {
+		m.RefSeriesFloats += r.Len()
+	}
+	// prevA/cumA/ewmaA bookkeeping: 3 floats per node.
+	m.AuxFloats = 3 * a.tree.Len()
+	return m
+}

@@ -1,0 +1,59 @@
+package algo
+
+import (
+	"fmt"
+	"time"
+)
+
+// ScaleMapping realizes §V-B6's reduction: a detection problem with
+// timeunit size Δ and time increment ς < Δ (with ς | Δ) is equivalent
+// to running the engine at resolution ς with a multi-timescale series
+// of base λ = Δ/ς, so the coarse scale reconstitutes the original Δ
+// units while the window slides by ς.
+type ScaleMapping struct {
+	// Delta is the requested timeunit size.
+	Delta time.Duration
+	// Increment is the requested slide ς.
+	Increment time.Duration
+	// EngineDelta is the resolution the engine runs at (= ς).
+	EngineDelta time.Duration
+	// Lambda is Δ/ς, the multi-scale base.
+	Lambda int
+	// Eta is the number of scales to maintain (>= 2 when λ > 1).
+	Eta int
+}
+
+// MapScales computes the engine configuration for a (Δ, ς) pair. It
+// returns an identity mapping when ς equals Δ.
+func MapScales(delta, increment time.Duration) (ScaleMapping, error) {
+	if delta <= 0 {
+		return ScaleMapping{}, fmt.Errorf("algo: delta must be > 0, got %v", delta)
+	}
+	if increment <= 0 {
+		increment = delta
+	}
+	if increment > delta {
+		// §V-B6: a problem with ς > Δ maps to a smaller ς' | ς with
+		// ς' <= Δ; the canonical choice is ς' = gcd(ς, Δ), which for
+		// the common "skip ahead" case degenerates to Δ.
+		increment = delta
+	}
+	if delta%increment != 0 {
+		return ScaleMapping{}, fmt.Errorf("algo: increment %v must divide delta %v", increment, delta)
+	}
+	m := ScaleMapping{
+		Delta:       delta,
+		Increment:   increment,
+		EngineDelta: increment,
+		Lambda:      int(delta / increment),
+		Eta:         1,
+	}
+	if m.Lambda > 1 {
+		m.Eta = 2
+	}
+	return m, nil
+}
+
+// Identity reports whether the mapping leaves the configuration
+// unchanged (ς = Δ).
+func (m ScaleMapping) Identity() bool { return m.Lambda == 1 }

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/core"
+	"tiresias/internal/detect"
+	"tiresias/internal/hierarchy"
+)
+
+// Example shows the minimal online loop: warm up with history, then
+// feed timeunits one at a time and collect anomalies.
+func Example() {
+	key := func(parts ...string) hierarchy.Key { return hierarchy.KeyOf(parts) }
+
+	// Steady history: region "west" handles 10 calls per timeunit.
+	history := make([]algo.Timeunit, 16)
+	for i := range history {
+		history[i] = algo.Timeunit{key("west", "sf"): 6, key("west", "la"): 4}
+	}
+
+	t, err := core.New(
+		core.WithDelta(15*time.Minute),
+		core.WithWindowLen(16),
+		core.WithTheta(5),
+		core.WithSeasonality(1.0, 4),
+		core.WithThresholds(detect.Thresholds{RT: 2.0, DT: 5}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	start := time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC)
+	if err := t.Warmup(history, start); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// A quiet unit, then an outage burst in SF.
+	quiet := algo.Timeunit{key("west", "sf"): 6, key("west", "la"): 4}
+	burst := algo.Timeunit{key("west", "sf"): 60, key("west", "la"): 4}
+	for _, u := range []algo.Timeunit{quiet, burst} {
+		res, err := t.ProcessUnit(u)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for _, a := range res.Anomalies {
+			fmt.Printf("anomaly at %s: %.0f observed vs %.1f forecast\n", a.Key, a.Actual, a.Forecast)
+		}
+	}
+	// Output:
+	// anomaly at west/sf: 60 observed vs 6.0 forecast
+}

@@ -1,0 +1,437 @@
+// Package core is the public façade of the Tiresias reproduction: it
+// wires the full pipeline of Fig. 3 — windowing (Step 1), heavy-hitter
+// detection and time-series construction (Step 2), seasonality
+// analysis (Step 3), seasonal forecasting (Step 4), and anomaly
+// reporting (Steps 5–6) — behind a small API:
+//
+//	t, err := core.New(core.WithTheta(10), core.WithDelta(15*time.Minute))
+//	result, err := t.Run(source)           // batch over a Source
+//	// or online:
+//	err = t.Warmup(historyUnits, start)
+//	anoms, err := t.ProcessUnit(unit)      // one timeunit at a time
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/detect"
+	"tiresias/internal/hierarchy"
+	"tiresias/internal/seasonal"
+	"tiresias/internal/stream"
+)
+
+// Algorithm selects the Step-2 engine.
+type Algorithm int
+
+const (
+	// AlgorithmADA is the paper's adaptive algorithm (default).
+	AlgorithmADA Algorithm = iota + 1
+	// AlgorithmSTA is the strawman baseline.
+	AlgorithmSTA
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmADA:
+		return "ADA"
+	case AlgorithmSTA:
+		return "STA"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// options collects configuration; adjusted through Option values.
+type options struct {
+	delta         time.Duration
+	increment     time.Duration
+	windowLen     int
+	theta         float64
+	thresholds    detect.Thresholds
+	algorithm     Algorithm
+	rule          algo.SplitRule
+	ruleAlpha     float64
+	refLevels     int
+	lambda, eta   int
+	hwAlpha       float64
+	hwBeta        float64
+	hwGamma       float64
+	autoSeason    bool
+	seasonPeriods []int // explicit seasonal periods (timeunits), max 2
+	seasonXi      float64
+}
+
+// Option configures New.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithDelta sets the timeunit size Δ (default 15 minutes).
+func WithDelta(d time.Duration) Option {
+	return optionFunc(func(o *options) { o.delta = d })
+}
+
+// WithWindowLen sets ℓ, the sliding-window length in timeunits
+// (default 672 = one week of 15-minute units; the paper's production
+// value is 8064).
+func WithWindowLen(l int) Option {
+	return optionFunc(func(o *options) { o.windowLen = l })
+}
+
+// WithTheta sets the heavy-hitter threshold θ (default 10).
+func WithTheta(theta float64) Option {
+	return optionFunc(func(o *options) { o.theta = theta })
+}
+
+// WithThresholds sets the Definition-4 sensitivity thresholds
+// (default RT=2.8, DT=8, the paper's operating point).
+func WithThresholds(th detect.Thresholds) Option {
+	return optionFunc(func(o *options) { o.thresholds = th })
+}
+
+// WithAlgorithm selects ADA (default) or STA.
+func WithAlgorithm(a Algorithm) Option {
+	return optionFunc(func(o *options) { o.algorithm = a })
+}
+
+// WithSplitRule selects ADA's split rule (default Long-Term-History).
+func WithSplitRule(r algo.SplitRule) Option {
+	return optionFunc(func(o *options) { o.rule = r })
+}
+
+// WithSplitEWMAAlpha sets the smoothing rate for the EWMA split rule.
+func WithSplitEWMAAlpha(alpha float64) Option {
+	return optionFunc(func(o *options) { o.ruleAlpha = alpha })
+}
+
+// WithReferenceLevels sets h, the number of top levels maintaining
+// reference time series (default 2, the paper's accuracy/memory sweet
+// spot).
+func WithReferenceLevels(h int) Option {
+	return optionFunc(func(o *options) { o.refLevels = h })
+}
+
+// WithMultiScale enables η geometric timescales with base λ (§V-B6).
+func WithMultiScale(lambda, eta int) Option {
+	return optionFunc(func(o *options) { o.lambda, o.eta = lambda, eta })
+}
+
+// WithIncrement sets the time increment ς by which the sliding window
+// advances (§V-B6). When ς < Δ the detector runs at resolution ς with
+// a λ = Δ/ς multi-timescale series, per the paper's reduction; ς must
+// divide Δ. ς >= Δ (or zero) keeps the plain per-Δ stepping.
+func WithIncrement(increment time.Duration) Option {
+	return optionFunc(func(o *options) { o.increment = increment })
+}
+
+// WithHoltWinters sets the forecasting smoothing parameters.
+func WithHoltWinters(alpha, beta, gamma float64) Option {
+	return optionFunc(func(o *options) { o.hwAlpha, o.hwBeta, o.hwGamma = alpha, beta, gamma })
+}
+
+// WithSeasonality fixes the seasonal periods explicitly (in timeunits;
+// one or two periods). xi weighs the first period when two are given
+// (ignored otherwise). Disables automatic seasonality analysis.
+func WithSeasonality(xi float64, periods ...int) Option {
+	return optionFunc(func(o *options) {
+		o.autoSeason = false
+		o.seasonPeriods = periods
+		o.seasonXi = xi
+	})
+}
+
+// WithAutoSeasonality re-enables Step-3 automatic seasonality analysis
+// (FFT + wavelet) over the warmup window; this is the default.
+func WithAutoSeasonality() Option {
+	return optionFunc(func(o *options) { o.autoSeason = true; o.seasonPeriods = nil })
+}
+
+func defaults() options {
+	return options{
+		delta:      15 * time.Minute,
+		windowLen:  672,
+		theta:      10,
+		thresholds: detect.DefaultThresholds(),
+		algorithm:  AlgorithmADA,
+		rule:       algo.LongTermHistory,
+		ruleAlpha:  0.4,
+		refLevels:  2,
+		hwAlpha:    0.4,
+		hwBeta:     0.05,
+		hwGamma:    0.3,
+		autoSeason: true,
+		seasonXi:   0.76,
+	}
+}
+
+// Tiresias is an online anomaly detector over hierarchical operational
+// data. It is not safe for concurrent use; wrap with a mutex or run
+// one instance per stream.
+type Tiresias struct {
+	opts     options
+	engine   algo.Engine
+	detector *detect.Detector
+	warm     bool
+	start    time.Time // start of the first timeunit
+	instance int
+
+	// Seasonality actually in use (filled during Warmup).
+	periods []int
+	xi      float64
+
+	lastState *algo.StepState
+}
+
+// New constructs a Tiresias instance.
+func New(opts ...Option) (*Tiresias, error) {
+	o := defaults()
+	for _, op := range opts {
+		op.apply(&o)
+	}
+	if o.delta <= 0 {
+		return nil, fmt.Errorf("core: delta must be > 0, got %v", o.delta)
+	}
+	if o.windowLen < 2 {
+		return nil, fmt.Errorf("core: window length must be >= 2, got %d", o.windowLen)
+	}
+	if o.increment != 0 {
+		m, err := algo.MapScales(o.delta, o.increment)
+		if err != nil {
+			return nil, err
+		}
+		if !m.Identity() {
+			// Run the engine at the fine resolution; the coarse
+			// scale reconstitutes the original Δ units.
+			o.delta = m.EngineDelta
+			o.windowLen *= m.Lambda
+			if o.lambda == 0 || o.eta < m.Eta {
+				o.lambda, o.eta = m.Lambda, m.Eta
+			}
+		}
+	}
+	if len(o.seasonPeriods) > 2 {
+		return nil, fmt.Errorf("core: at most 2 seasonal periods, got %d", len(o.seasonPeriods))
+	}
+	for _, p := range o.seasonPeriods {
+		if p < 1 {
+			return nil, fmt.Errorf("core: seasonal period must be >= 1, got %d", p)
+		}
+	}
+	det, err := detect.New(o.thresholds)
+	if err != nil {
+		return nil, err
+	}
+	return &Tiresias{opts: o, detector: det}, nil
+}
+
+// Delta returns the configured timeunit size.
+func (t *Tiresias) Delta() time.Duration { return t.opts.delta }
+
+// SeasonalPeriods returns the seasonal periods in use after Warmup
+// (nil before).
+func (t *Tiresias) SeasonalPeriods() []int {
+	return append([]int(nil), t.periods...)
+}
+
+// Engine exposes the underlying Step-2 engine (for experiment
+// harnesses; treat as read-only).
+func (t *Tiresias) Engine() algo.Engine { return t.engine }
+
+// ErrNotWarm is returned by ProcessUnit before Warmup.
+var ErrNotWarm = errors.New("core: Warmup must complete before ProcessUnit")
+
+// Warmup ingests the initial history window (oldest first) starting at
+// the given wall-clock time, performs Step-3 seasonality analysis, and
+// initializes the engine. len(units) should be the configured window
+// length; shorter histories work with reduced forecast quality.
+func (t *Tiresias) Warmup(units []algo.Timeunit, start time.Time) error {
+	if t.warm {
+		return errors.New("core: Warmup called twice")
+	}
+	t.start = start
+
+	// Step 3: seasonality analysis over the total-count series.
+	if t.opts.autoSeason {
+		t.periods, t.xi = t.analyzeSeasonality(units)
+	} else {
+		t.periods = append([]int(nil), t.opts.seasonPeriods...)
+		t.xi = t.opts.seasonXi
+	}
+
+	factory := t.factory()
+	cfg := algo.Config{
+		Theta:         t.opts.theta,
+		WindowLen:     t.opts.windowLen,
+		Rule:          t.opts.rule,
+		RuleAlpha:     t.opts.ruleAlpha,
+		RefLevels:     t.opts.refLevels,
+		NewForecaster: factory,
+		Lambda:        t.opts.lambda,
+		Eta:           t.opts.eta,
+	}
+	var err error
+	switch t.opts.algorithm {
+	case AlgorithmSTA:
+		t.engine, err = algo.NewSTA(cfg)
+	default:
+		t.engine, err = algo.NewADA(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	st, err := t.engine.Init(units)
+	if err != nil {
+		return err
+	}
+	t.lastState = st
+	t.instance = 0
+	t.warm = true
+	return nil
+}
+
+// analyzeSeasonality runs FFT + wavelet analysis on the aggregate
+// series and returns up to two seasonal periods (in timeunits) and the
+// combination weight ξ.
+func (t *Tiresias) analyzeSeasonality(units []algo.Timeunit) ([]int, float64) {
+	totals := make([]float64, len(units))
+	for i, u := range units {
+		totals[i] = u.Total()
+	}
+	peaks := seasonal.DominantPeriods(totals, t.opts.delta, 0.2, 2)
+	// Cross-check with the wavelet detail energies: keep FFT peaks
+	// only when the decomposition shows real multi-scale structure.
+	if len(totals) >= 8 {
+		levels := 1
+		for (1 << (levels + 1)) < len(totals) {
+			levels++
+		}
+		if levels > 8 {
+			levels = 8
+		}
+		wl := seasonal.Decompose(totals, levels)
+		if _, ok := wl.DominantScale(); !ok {
+			peaks = nil
+		}
+	}
+	var periods []int
+	for _, p := range peaks {
+		units := int(p.PeriodUnits + 0.5)
+		if units >= 2 && 2*units <= len(totals) {
+			periods = append(periods, units)
+		}
+	}
+	xi := t.opts.seasonXi
+	if len(peaks) >= 2 {
+		xi = seasonal.SeasonWeight(peaks[0].Magnitude, peaks[1].Magnitude)
+	}
+	return periods, xi
+}
+
+// factory builds the forecaster factory from the selected seasonality.
+func (t *Tiresias) factory() algo.ForecasterFactory {
+	a, b, g := t.opts.hwAlpha, t.opts.hwBeta, t.opts.hwGamma
+	switch len(t.periods) {
+	case 0:
+		return algo.DefaultFactory()
+	case 1:
+		return algo.HoltWintersFactory(a, b, g, t.periods[0])
+	default:
+		p1, p2 := t.periods[0], t.periods[1]
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return algo.DualSeasonFactory(a, b, g, t.xi, p1, p2)
+	}
+}
+
+// StepResult combines the engine state and the anomalies of one
+// processed timeunit.
+type StepResult struct {
+	// State is the engine's step outcome (heavy hitters, timings).
+	State *algo.StepState
+	// Anomalies lists Definition-4 violations in the newest unit.
+	Anomalies []detect.Anomaly
+	// UnitStart is the wall-clock start of the processed unit.
+	UnitStart time.Time
+}
+
+// ProcessUnit advances one timeunit (Step 6's "keep checking for new
+// data" loop body) and returns detected anomalies.
+func (t *Tiresias) ProcessUnit(u algo.Timeunit) (*StepResult, error) {
+	if !t.warm {
+		return nil, ErrNotWarm
+	}
+	st, err := t.engine.Step(u)
+	if err != nil {
+		return nil, err
+	}
+	t.lastState = st
+	t.instance++
+	unitStart := t.start.Add(time.Duration(t.opts.windowLen+t.instance-1) * t.opts.delta)
+	anoms := t.detector.Scan(st, unitStart)
+	return &StepResult{State: st, Anomalies: anoms, UnitStart: unitStart}, nil
+}
+
+// RunResult summarizes a batch run.
+type RunResult struct {
+	// Anomalies aggregates all detections, in time order.
+	Anomalies []detect.Anomaly
+	// Units is the number of timeunits processed after warmup.
+	Units int
+	// Timings accumulates engine stage costs.
+	Timings algo.StageTimings
+	// HeavyHitterCount is the SHHH set size after the last unit.
+	HeavyHitterCount int
+}
+
+// Run drains a record source: the first windowLen timeunits warm the
+// detector up, every following unit is screened for anomalies.
+func (t *Tiresias) Run(src stream.Source) (*RunResult, error) {
+	units, start, err := stream.Collect(src, t.opts.delta)
+	if err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		return nil, errors.New("core: empty input stream")
+	}
+	warmLen := t.opts.windowLen
+	if warmLen > len(units) {
+		warmLen = len(units)
+	}
+	if err := t.Warmup(units[:warmLen], start); err != nil {
+		return nil, err
+	}
+	res := &RunResult{}
+	for _, u := range units[warmLen:] {
+		sr, err := t.ProcessUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		res.Anomalies = append(res.Anomalies, sr.Anomalies...)
+		res.Units++
+		res.Timings.Add(sr.State.Timings)
+		res.HeavyHitterCount = len(sr.State.HeavyHitters)
+	}
+	return res, nil
+}
+
+// HeavyHitters returns the SHHH membership keys of the most recently
+// processed timeunit (nil before Warmup).
+func (t *Tiresias) HeavyHitters() []hierarchy.Key {
+	if t.lastState == nil {
+		return nil
+	}
+	out := make([]hierarchy.Key, 0, len(t.lastState.HeavyHitters))
+	for _, hh := range t.lastState.HeavyHitters {
+		out = append(out, hh.Node.Key)
+	}
+	return out
+}

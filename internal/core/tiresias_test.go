@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/detect"
+	"tiresias/internal/gen"
+	"tiresias/internal/hierarchy"
+	"tiresias/internal/stream"
+)
+
+func start() time.Time { return time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC) }
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []Option
+	}{
+		{name: "bad delta", opts: []Option{WithDelta(0)}},
+		{name: "bad window", opts: []Option{WithWindowLen(1)}},
+		{name: "too many periods", opts: []Option{WithSeasonality(0.5, 2, 3, 4)}},
+		{name: "bad period", opts: []Option{WithSeasonality(0.5, 0)}},
+		{name: "bad thresholds", opts: []Option{WithThresholds(detect.Thresholds{})}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.opts...); err == nil {
+				t.Fatal("New must fail")
+			}
+		})
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgorithmADA.String() != "ADA" || AlgorithmSTA.String() != "STA" {
+		t.Fatal("Algorithm names wrong")
+	}
+	if Algorithm(9).String() != "Algorithm(9)" {
+		t.Fatal("unknown algorithm String wrong")
+	}
+}
+
+func TestLifecycleGuards(t *testing.T) {
+	tr, err := New(WithWindowLen(8), WithTheta(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ProcessUnit(algo.Timeunit{}); !errors.Is(err, ErrNotWarm) {
+		t.Fatalf("ProcessUnit before Warmup = %v, want ErrNotWarm", err)
+	}
+	units := make([]algo.Timeunit, 8)
+	for i := range units {
+		units[i] = algo.Timeunit{hierarchy.KeyOf([]string{"a"}): 5}
+	}
+	if err := tr.Warmup(units, start()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Warmup(units, start()); err == nil {
+		t.Fatal("second Warmup must fail")
+	}
+	if tr.Delta() != 15*time.Minute {
+		t.Fatal("default Delta wrong")
+	}
+	if tr.Engine() == nil {
+		t.Fatal("Engine must be available after Warmup")
+	}
+	if hh := tr.HeavyHitters(); len(hh) == 0 {
+		t.Fatal("warmup SHHH empty")
+	}
+}
+
+// genDataset builds a small seasonal dataset with one injected spike.
+func genDataset(t *testing.T, units int, anoms []gen.AnomalySpec) *gen.Dataset {
+	t.Helper()
+	cfg := gen.Config{
+		Shape:           gen.Shape{Degrees: []int{4, 3}, LevelPrefix: []string{"v", "io"}},
+		Start:           start(),
+		Units:           units,
+		Delta:           15 * time.Minute,
+		BaseRate:        40,
+		DiurnalStrength: 0.5,
+		ZipfS:           0.8,
+		Seed:            42,
+		Anomalies:       anoms,
+	}
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunDetectsInjectedAnomaly(t *testing.T) {
+	const warm = 96 // one day
+	spike := gen.AnomalySpec{
+		Path:         []string{"v1"},
+		StartUnit:    warm + 20,
+		EndUnit:      warm + 24,
+		ExtraPerUnit: 400,
+	}
+	d := genDataset(t, warm+40, []gen.AnomalySpec{spike})
+	tr, err := New(
+		WithWindowLen(warm),
+		WithTheta(5),
+		WithSeasonality(1.0, 96), // daily season, known by construction
+		WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(stream.NewSliceSource(d.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 40 {
+		t.Fatalf("processed %d units, want 40", res.Units)
+	}
+	if len(res.Anomalies) == 0 {
+		t.Fatal("injected spike not detected")
+	}
+	target := hierarchy.KeyOf([]string{"v1"})
+	found := false
+	for _, a := range res.Anomalies {
+		inWindow := a.Instance >= 20 && a.Instance < 26
+		if inWindow && target.IsAncestorOf(a.Key) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no anomaly under v1 in the spike window; got %+v", res.Anomalies)
+	}
+}
+
+func TestQuietStreamYieldsFewAnomalies(t *testing.T) {
+	const warm = 96
+	d := genDataset(t, warm+40, nil)
+	tr, err := New(
+		WithWindowLen(warm),
+		WithTheta(5),
+		WithSeasonality(1.0, 96),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(stream.NewSliceSource(d.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean seasonal stream should produce almost no alarms with
+	// the paper's thresholds.
+	if len(res.Anomalies) > 4 {
+		t.Fatalf("too many false alarms on a quiet stream: %d", len(res.Anomalies))
+	}
+}
+
+func TestSTAandADAAgreeOnAnomalies(t *testing.T) {
+	const warm = 48
+	spike := gen.AnomalySpec{
+		Path:         []string{"v2", "io1"},
+		StartUnit:    warm + 10,
+		EndUnit:      warm + 13,
+		ExtraPerUnit: 300,
+	}
+	d := genDataset(t, warm+20, []gen.AnomalySpec{spike})
+	run := func(a Algorithm) []detect.Anomaly {
+		tr, err := New(
+			WithWindowLen(warm),
+			WithTheta(5),
+			WithAlgorithm(a),
+			WithSeasonality(1.0, 24),
+			WithReferenceLevels(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run(stream.NewSliceSource(d.Records))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Anomalies
+	}
+	adaAnoms := run(AlgorithmADA)
+	staAnoms := run(AlgorithmSTA)
+	// Both must flag the injected spike window under v2.
+	target := hierarchy.KeyOf([]string{"v2"})
+	check := func(name string, as []detect.Anomaly) {
+		for _, a := range as {
+			if a.Instance >= 10 && a.Instance < 15 && target.IsAncestorOf(a.Key) {
+				return
+			}
+		}
+		t.Fatalf("%s missed the injected spike: %+v", name, as)
+	}
+	check("ADA", adaAnoms)
+	check("STA", staAnoms)
+}
+
+func TestAutoSeasonalityPicksDailyPeriod(t *testing.T) {
+	// Hourly units over 8 days with strong diurnal pattern: the
+	// analyzer should select a period near 24 units.
+	cfg := gen.Config{
+		Shape:           gen.Shape{Degrees: []int{3}},
+		Start:           start(),
+		Units:           8 * 24,
+		Delta:           time.Hour,
+		BaseRate:        200,
+		DiurnalStrength: 0.7,
+		ZipfS:           0.5,
+		Seed:            7,
+	}
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, first, err := stream.Collect(stream.NewSliceSource(d.Records), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(WithDelta(time.Hour), WithWindowLen(len(units)), WithTheta(5), WithAutoSeasonality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Warmup(units, first); err != nil {
+		t.Fatal(err)
+	}
+	ps := tr.SeasonalPeriods()
+	if len(ps) == 0 {
+		t.Fatal("no seasonal period detected")
+	}
+	if ps[0] < 20 || ps[0] > 28 {
+		t.Fatalf("detected period = %d units, want ≈ 24", ps[0])
+	}
+}
+
+func TestRunEmptySource(t *testing.T) {
+	tr, err := New(WithWindowLen(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(stream.NewSliceSource(nil)); err == nil {
+		t.Fatal("empty source must fail")
+	}
+}

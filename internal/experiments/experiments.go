@@ -1,0 +1,250 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§II measurement characterization and §VII
+// evaluation) on the synthetic workloads of package gen. Each
+// experiment returns a result value with a Render method that prints
+// rows in the shape of the paper's tables; cmd/tiresias-bench and the
+// repository-level benchmarks both drive this package.
+//
+// Absolute numbers differ from the paper (different hardware, synthetic
+// data); the quantities that must match are the *shapes*: who wins, by
+// roughly what factor, and where the qualitative behaviours (error
+// decay, seasonality peaks, level distributions) appear.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/gen"
+	"tiresias/internal/stream"
+)
+
+// Profile scales the experiments: Quick is sized for CI and unit
+// benchmarks, Full approaches the paper's dimensions.
+type Profile struct {
+	// Name labels the profile in output.
+	Name string
+	// NetScale scales the CCD/SCD network fan-outs (1 = paper size).
+	NetScale float64
+	// WarmUnits is the history window ℓ used by the engines.
+	WarmUnits int
+	// RunUnits is the number of detection timeunits after warmup.
+	RunUnits int
+	// Delta is the timeunit size.
+	Delta time.Duration
+	// BaseRate is the expected records per timeunit.
+	BaseRate float64
+	// Theta is the heavy-hitter threshold.
+	Theta float64
+	// Seed drives all generation.
+	Seed int64
+}
+
+// Quick returns the CI-sized profile (seconds per experiment).
+func Quick() Profile {
+	return Profile{
+		Name:      "quick",
+		NetScale:  0.08,
+		WarmUnits: 96,
+		RunUnits:  48,
+		Delta:     15 * time.Minute,
+		BaseRate:  120,
+		Theta:     8,
+		Seed:      1,
+	}
+}
+
+// Full returns a profile close to the paper's scale (minutes per
+// experiment).
+func Full() Profile {
+	return Profile{
+		Name:      "full",
+		NetScale:  0.5,
+		WarmUnits: 672, // one week of 15-minute units
+		RunUnits:  192, // two days
+		Delta:     15 * time.Minute,
+		BaseRate:  1200,
+		Theta:     15,
+		Seed:      1,
+	}
+}
+
+// Workload couples generated records with their timeunit grouping.
+type Workload struct {
+	Dataset *gen.Dataset
+	Units   []algo.Timeunit
+	Start   time.Time
+}
+
+// TotalRecords returns the record count.
+func (w *Workload) TotalRecords() int { return len(w.Dataset.Records) }
+
+// monday is the canonical start (a Monday, so weekly patterns align).
+func monday() time.Time { return time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC) }
+
+// CCDNetWorkload generates a CCD network-path workload (the dimension
+// §VII-B evaluates on) with the given injected anomalies.
+func CCDNetWorkload(p Profile, anoms []gen.AnomalySpec) (*Workload, error) {
+	cfg := gen.Config{
+		Shape:           gen.CCDNetworkShape(p.NetScale),
+		Start:           monday(),
+		Units:           p.WarmUnits + p.RunUnits,
+		Delta:           p.Delta,
+		BaseRate:        p.BaseRate,
+		DiurnalStrength: 0.6,
+		WeeklyStrength:  0.35,
+		ZipfS:           0.9,
+		Seed:            p.Seed,
+		Anomalies:       anoms,
+	}
+	return buildWorkload(cfg)
+}
+
+// CCDTroubleWorkload generates the trouble-description dimension with
+// Table I's first-level mix.
+func CCDTroubleWorkload(p Profile) (*Workload, error) {
+	cfg := gen.Config{
+		Shape:           gen.CCDTroubleShape(),
+		Mix:             gen.CCDTicketMix(),
+		Start:           monday(),
+		Units:           p.WarmUnits + p.RunUnits,
+		Delta:           p.Delta,
+		BaseRate:        p.BaseRate,
+		DiurnalStrength: 0.6,
+		WeeklyStrength:  0.35,
+		ZipfS:           0.9,
+		Seed:            p.Seed + 10,
+	}
+	return buildWorkload(cfg)
+}
+
+// SCDWorkload generates the set-top-box crash workload: larger
+// hierarchy, single (daily) seasonality, lower variance (§VII-A
+// "Results for SCD").
+func SCDWorkload(p Profile) (*Workload, error) {
+	cfg := gen.Config{
+		Shape:           gen.SCDNetworkShape(p.NetScale),
+		Start:           monday(),
+		Units:           p.WarmUnits + p.RunUnits,
+		Delta:           p.Delta,
+		BaseRate:        p.BaseRate,
+		DiurnalStrength: 0.35,
+		WeeklyStrength:  0,
+		ZipfS:           0.6,
+		Seed:            p.Seed + 20,
+	}
+	return buildWorkload(cfg)
+}
+
+func buildWorkload(cfg gen.Config) (*Workload, error) {
+	d, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	units, start, err := stream.Collect(stream.NewSliceSource(d.Records), cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	// Pad trailing empty units so every run covers cfg.Units.
+	for len(units) < cfg.Units {
+		units = append(units, algo.Timeunit{})
+	}
+	return &Workload{Dataset: d, Units: units, Start: start}, nil
+}
+
+// engineFor builds an engine for the experiment runs.
+func engineFor(name string, p Profile, rule algo.SplitRule, refLevels int, factory algo.ForecasterFactory) (algo.Engine, error) {
+	cfg := algo.Config{
+		Theta:         p.Theta,
+		WindowLen:     p.WarmUnits,
+		Rule:          rule,
+		RefLevels:     refLevels,
+		NewForecaster: factory,
+	}
+	if factory == nil {
+		cfg.NewForecaster = dailyFactory(p)
+	}
+	switch name {
+	case "STA":
+		return algo.NewSTA(cfg)
+	default:
+		return algo.NewADA(cfg)
+	}
+}
+
+// dailyFactory returns a Holt-Winters factory with a one-day season in
+// the profile's timeunits (falling back to EWMA when the window is too
+// short for two cycles).
+func dailyFactory(p Profile) algo.ForecasterFactory {
+	period := int(24 * time.Hour / p.Delta)
+	if period < 2 || 2*period > p.WarmUnits {
+		return algo.DefaultFactory()
+	}
+	return algo.HoltWintersFactory(0.4, 0.05, 0.3, period)
+}
+
+// table is a tiny text-table renderer shared by all experiments.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render draws the table with aligned columns.
+func (t *table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.title)
+	b.WriteString("\n")
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if w := widths[i] - len(c); w > 0 {
+				b.WriteString(strings.Repeat(" ", w))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"tiresias/internal/hierarchy"
+)
+
+func TestAnomalyShapeString(t *testing.T) {
+	if ShapeSquare.String() != "square" || ShapeRamp.String() != "ramp" || ShapeDecay.String() != "decay" {
+		t.Fatal("shape names wrong")
+	}
+}
+
+func TestRateAtEnvelopes(t *testing.T) {
+	base := AnomalySpec{Path: []string{"a"}, StartUnit: 10, EndUnit: 18, ExtraPerUnit: 80}
+
+	square := base
+	for u := 10; u < 18; u++ {
+		if square.RateAt(u) != 80 {
+			t.Fatalf("square rate at %d = %v", u, square.RateAt(u))
+		}
+	}
+	if square.RateAt(9) != 0 || square.RateAt(18) != 0 {
+		t.Fatal("square rate must be 0 outside the span")
+	}
+
+	ramp := base
+	ramp.Shape = ShapeRamp
+	prev := 0.0
+	for u := 10; u < 18; u++ {
+		r := ramp.RateAt(u)
+		if r <= prev {
+			t.Fatalf("ramp must strictly increase: %v then %v", prev, r)
+		}
+		prev = r
+	}
+	if math.Abs(prev-80) > 1e-9 {
+		t.Fatalf("ramp must reach the peak, got %v", prev)
+	}
+
+	decay := base
+	decay.Shape = ShapeDecay
+	if decay.RateAt(10) != 80 {
+		t.Fatalf("decay must start at the peak, got %v", decay.RateAt(10))
+	}
+	prev = math.Inf(1)
+	for u := 10; u < 18; u++ {
+		r := decay.RateAt(u)
+		if r >= prev {
+			t.Fatalf("decay must strictly decrease: %v then %v", prev, r)
+		}
+		prev = r
+	}
+	// Roughly halves every quarter of the span (span 8 → quarter 2).
+	ratio := decay.RateAt(12) / decay.RateAt(10)
+	if math.Abs(ratio-0.5) > 1e-9 {
+		t.Fatalf("decay halving ratio = %v, want 0.5", ratio)
+	}
+}
+
+func TestShapedAnomalyGeneration(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BaseRate = 5
+	cfg.Units = 60
+	cfg.Anomalies = []AnomalySpec{{
+		Path: []string{"a0"}, StartUnit: 20, EndUnit: 40, ExtraPerUnit: 400, Shape: ShapeRamp,
+	}}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := hierarchy.KeyOf([]string{"a0"})
+	perUnit := make([]float64, cfg.Units)
+	for _, r := range d.Records {
+		if target.IsAncestorOf(r.Key()) {
+			u := int(r.Time.Sub(cfg.Start) / cfg.Delta)
+			perUnit[u]++
+		}
+	}
+	// The second half of the ramp must carry clearly more mass than
+	// the first half.
+	var early, late float64
+	for u := 20; u < 30; u++ {
+		early += perUnit[u]
+	}
+	for u := 30; u < 40; u++ {
+		late += perUnit[u]
+	}
+	if late < 1.5*early {
+		t.Fatalf("ramp not visible: early %v, late %v", early, late)
+	}
+}
+
+func TestDecayAnomalyGeneration(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BaseRate = 5
+	cfg.Units = 60
+	cfg.Anomalies = []AnomalySpec{{
+		Path: []string{"a1"}, StartUnit: 20, EndUnit: 40, ExtraPerUnit: 600, Shape: ShapeDecay,
+	}}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := hierarchy.KeyOf([]string{"a1"})
+	perUnit := make([]float64, cfg.Units)
+	for _, r := range d.Records {
+		if target.IsAncestorOf(r.Key()) {
+			u := int(r.Time.Sub(cfg.Start) / cfg.Delta)
+			perUnit[u]++
+		}
+	}
+	var early, late float64
+	for u := 20; u < 25; u++ {
+		early += perUnit[u]
+	}
+	for u := 35; u < 40; u++ {
+		late += perUnit[u]
+	}
+	if early < 4*late {
+		t.Fatalf("decay not visible: early %v, late %v", early, late)
+	}
+}

@@ -1,0 +1,116 @@
+// Package hhd implements the online hierarchical heavy hitter detector
+// that the paper's related work builds on (Zhang et al., IMC 2004,
+// cited as [11]): a *cash-register* streaming model in which counts
+// only accumulate and are never deleted, so the detector reports
+// **long-term** heavy hitters over the whole stream (or over coarse
+// epochs).
+//
+// The paper positions its strawman STA as "a natural extension of HHD
+// where we apply HHD for every timeunit" — HHD itself cannot see
+// short-lived spikes because a burst of a few hundred calls drowns in
+// weeks of cumulative history. The ablation experiment in package
+// experiments quantifies exactly that blind spot, motivating the
+// sliding-window design of §V.
+package hhd
+
+import (
+	"fmt"
+	"sort"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/hierarchy"
+)
+
+// Detector accumulates counts in the cash-register model and answers
+// long-term SHHH queries against a *fraction-of-total* threshold phi,
+// the classic formulation (a node is heavy when its discounted count
+// is at least phi times the stream total).
+type Detector struct {
+	phi    float64
+	tree   *hierarchy.Tree
+	counts map[hierarchy.Key]float64
+	total  float64
+}
+
+// New creates a Detector with threshold fraction phi in (0, 1).
+func New(phi float64) (*Detector, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, fmt.Errorf("hhd: phi must be in (0,1), got %v", phi)
+	}
+	return &Detector{
+		phi:    phi,
+		tree:   hierarchy.New(),
+		counts: make(map[hierarchy.Key]float64),
+	}, nil
+}
+
+// Observe accumulates one timeunit of counts (insert-only).
+func (d *Detector) Observe(u algo.Timeunit) {
+	for k, v := range u {
+		if v < 0 {
+			continue // cash-register model: no deletions
+		}
+		d.tree.InsertKey(k)
+		d.counts[k] += v
+		d.total += v
+	}
+}
+
+// Total returns the cumulative stream mass.
+func (d *Detector) Total() float64 { return d.total }
+
+// HeavyHitter is one long-term SHHH member.
+type HeavyHitter struct {
+	// Key locates the node.
+	Key hierarchy.Key
+	// Weight is the discounted cumulative count.
+	Weight float64
+	// Fraction is Weight / stream total.
+	Fraction float64
+}
+
+// Query returns the current long-term SHHH set (threshold phi x
+// total), most significant first.
+func (d *Detector) Query() []HeavyHitter {
+	if d.total == 0 {
+		return nil
+	}
+	theta := d.phi * d.total
+	w := make([]float64, d.tree.Len())
+	inSet := make([]bool, d.tree.Len())
+	for k, v := range d.counts {
+		if n := d.tree.Lookup(k); n != nil {
+			w[n.ID] += v
+		}
+	}
+	var out []HeavyHitter
+	d.tree.WalkBottomUp(func(n *hierarchy.Node) {
+		for _, c := range n.Children() {
+			if !inSet[c.ID] {
+				w[n.ID] += w[c.ID]
+			}
+		}
+		if w[n.ID] >= theta {
+			inSet[n.ID] = true
+			out = append(out, HeavyHitter{
+				Key:      n.Key,
+				Weight:   w[n.ID],
+				Fraction: w[n.ID] / d.total,
+			})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out
+}
+
+// Covers reports whether the long-term set contains the key or an
+// ancestor of it — the coarse "is this region hot overall" question
+// HHD answers well.
+func (d *Detector) Covers(k hierarchy.Key) bool {
+	for _, hh := range d.Query() {
+		if hh.Key.IsAncestorOf(k) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package hhd
+
+import (
+	"testing"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/hierarchy"
+)
+
+func key(parts ...string) hierarchy.Key { return hierarchy.KeyOf(parts) }
+
+func TestNewValidation(t *testing.T) {
+	for _, phi := range []float64{0, 1, -0.5, 2} {
+		if _, err := New(phi); err == nil {
+			t.Fatalf("phi=%v must be rejected", phi)
+		}
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	d, err := New(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Query() != nil {
+		t.Fatal("empty detector must return nil")
+	}
+	if d.Total() != 0 {
+		t.Fatal("empty total must be 0")
+	}
+}
+
+func TestLongTermHeavyHitters(t *testing.T) {
+	d, err := New(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate: a/x dominates long-term.
+	for i := 0; i < 10; i++ {
+		d.Observe(algo.Timeunit{
+			key("a", "x"): 8,
+			key("a", "y"): 1,
+			key("b", "z"): 1,
+		})
+	}
+	if d.Total() != 100 {
+		t.Fatalf("total = %v", d.Total())
+	}
+	hhs := d.Query()
+	if len(hhs) == 0 || hhs[0].Key != key("a", "x") {
+		t.Fatalf("Query() = %+v, want a/x first", hhs)
+	}
+	if hhs[0].Fraction != 0.8 {
+		t.Fatalf("fraction = %v, want 0.8", hhs[0].Fraction)
+	}
+	if !d.Covers(key("a", "x")) {
+		t.Fatal("Covers(a/x) must be true")
+	}
+	if d.Covers(key("b", "z")) {
+		t.Fatal("b/z (10%) must not be covered at phi=0.3")
+	}
+}
+
+func TestDiscountingMatchesSHHH(t *testing.T) {
+	d, err := New(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two heavy children under one parent: the parent's residual is
+	// zero, so the parent must not be reported.
+	d.Observe(algo.Timeunit{
+		key("p", "a"): 50,
+		key("p", "b"): 50,
+	})
+	hhs := d.Query()
+	for _, hh := range hhs {
+		if hh.Key == key("p") {
+			t.Fatalf("discounted parent reported: %+v", hhs)
+		}
+	}
+	if len(hhs) != 2 {
+		t.Fatalf("Query() = %+v, want both children", hhs)
+	}
+}
+
+func TestNegativeCountsIgnored(t *testing.T) {
+	d, err := New(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(algo.Timeunit{key("a"): -5, key("b"): 10})
+	if d.Total() != 10 {
+		t.Fatalf("cash-register model must ignore deletions, total = %v", d.Total())
+	}
+}
+
+// TestShortSpikeBlindSpot is the motivation for Tiresias' sliding
+// window: a spike that dominates one timeunit vanishes inside the
+// cumulative stream.
+func TestShortSpikeBlindSpot(t *testing.T) {
+	d, err := New(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four weeks of steady background on other nodes.
+	for i := 0; i < 1000; i++ {
+		d.Observe(algo.Timeunit{key("bg", "x"): 5, key("bg", "y"): 5})
+	}
+	// One timeunit with a severe localized outage: 100 calls at once.
+	d.Observe(algo.Timeunit{key("victim", "co"): 100})
+	if d.Covers(key("victim", "co")) {
+		t.Fatal("cumulative HHD should not see a one-unit spike (if it does, the ablation premise is wrong)")
+	}
+}

@@ -1,0 +1,306 @@
+// Package hierarchy implements the hierarchical category domain that
+// Tiresias operates on (§III of the paper).
+//
+// Operational data records carry a category drawn from a tree-shaped
+// domain: a trouble-description taxonomy or a network-path hierarchy
+// (SHO → VHO → IO → CO → DSLAM). Every record maps to a leaf; interior
+// nodes aggregate their descendants. The Tree type here grows
+// dynamically as unseen categories arrive, which matches the online
+// setting: the category universe is not known up front.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// keySep separates path components inside a Key. It is a control
+// character so it cannot collide with reasonable label text.
+const keySep = "\x1f"
+
+// Key is the canonical string encoding of a category path. It is used
+// as a map key throughout the system.
+type Key string
+
+// KeyOf encodes a path as a Key. The empty path encodes the root.
+func KeyOf(path []string) Key {
+	return Key(strings.Join(path, keySep))
+}
+
+// Path decodes the Key back into its components. The root Key decodes
+// to a nil path.
+func (k Key) Path() []string {
+	if k == "" {
+		return nil
+	}
+	return strings.Split(string(k), keySep)
+}
+
+// String renders the Key using "/" separators for human consumption.
+func (k Key) String() string {
+	if k == "" {
+		return "<root>"
+	}
+	return strings.Join(k.Path(), "/")
+}
+
+// Depth reports the number of components in the Key (root = 0).
+func (k Key) Depth() int {
+	if k == "" {
+		return 0
+	}
+	return strings.Count(string(k), keySep) + 1
+}
+
+// Parent returns the Key of the parent category, and false when k is
+// the root.
+func (k Key) Parent() (Key, bool) {
+	if k == "" {
+		return "", false
+	}
+	i := strings.LastIndex(string(k), keySep)
+	if i < 0 {
+		return "", true
+	}
+	return Key(k[:i]), true
+}
+
+// IsAncestorOf reports whether k is equal to or an ancestor of other.
+// This is the ⊒ relation used when matching anomalies against the
+// reference method (§VII-B).
+func (k Key) IsAncestorOf(other Key) bool {
+	if k == other {
+		return true
+	}
+	if k == "" {
+		return true // root is an ancestor of everything
+	}
+	return strings.HasPrefix(string(other), string(k)+keySep)
+}
+
+// Node is a single category in the hierarchy. Exported fields are
+// read-only for callers; mutation goes through Tree.
+type Node struct {
+	// ID is a dense index assigned in insertion order. Algorithm
+	// packages use it to attach per-node state in flat slices.
+	ID int
+	// Label is the last path component ("" for the root).
+	Label string
+	// Key is the full encoded path.
+	Key Key
+	// Depth is the distance from the root (root = 0).
+	Depth int
+
+	parent   *Node
+	children map[string]*Node
+	ordered  []*Node // children in insertion order, for deterministic walks
+}
+
+// Parent returns the parent node, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the node's children in insertion order. The
+// returned slice is shared; callers must not mutate it.
+func (n *Node) Children() []*Node { return n.ordered }
+
+// Child returns the child with the given label, or nil.
+func (n *Node) Child(label string) *Node { return n.children[label] }
+
+// IsLeaf reports whether the node currently has no children.
+func (n *Node) IsLeaf() bool { return len(n.ordered) == 0 }
+
+// Degree returns the number of children.
+func (n *Node) Degree() int { return len(n.ordered) }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.Key.String() }
+
+// Tree is a dynamically growing category hierarchy. The zero value is
+// not usable; construct with New.
+type Tree struct {
+	root   *Node
+	nodes  []*Node       // all nodes, indexed by ID
+	byKey  map[Key]*Node // key → node
+	levels [][]*Node     // nodes grouped by depth, insertion order
+}
+
+// New returns an empty tree containing only the root node.
+func New() *Tree {
+	t := &Tree{byKey: make(map[Key]*Node)}
+	t.root = t.newNode(nil, "")
+	return t
+}
+
+func (t *Tree) newNode(parent *Node, label string) *Node {
+	var key Key
+	depth := 0
+	if parent != nil {
+		if parent.Key == "" {
+			key = Key(label)
+		} else {
+			key = Key(string(parent.Key) + keySep + label)
+		}
+		depth = parent.Depth + 1
+	}
+	n := &Node{
+		ID:       len(t.nodes),
+		Label:    label,
+		Key:      key,
+		Depth:    depth,
+		parent:   parent,
+		children: make(map[string]*Node),
+	}
+	t.nodes = append(t.nodes, n)
+	t.byKey[key] = n
+	for len(t.levels) <= depth {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[depth] = append(t.levels[depth], n)
+	if parent != nil {
+		parent.children[label] = n
+		parent.ordered = append(parent.ordered, n)
+	}
+	return n
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the total number of nodes including the root.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Height returns the number of levels (root-only tree has height 1).
+func (t *Tree) Height() int { return len(t.levels) }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// Lookup returns the node for a Key, or nil if it has never been
+// inserted.
+func (t *Tree) Lookup(k Key) *Node { return t.byKey[k] }
+
+// Insert returns the node for the given path, creating it and any
+// missing ancestors. An empty path returns the root.
+func (t *Tree) Insert(path []string) *Node {
+	n := t.root
+	for _, label := range path {
+		c := n.children[label]
+		if c == nil {
+			c = t.newNode(n, label)
+		}
+		n = c
+	}
+	return n
+}
+
+// InsertKey is Insert for an already-encoded Key.
+func (t *Tree) InsertKey(k Key) *Node {
+	if n := t.byKey[k]; n != nil {
+		return n
+	}
+	return t.Insert(k.Path())
+}
+
+// AtDepth returns all nodes at the given depth in insertion order. The
+// returned slice is shared; callers must not mutate it.
+func (t *Tree) AtDepth(depth int) []*Node {
+	if depth < 0 || depth >= len(t.levels) {
+		return nil
+	}
+	return t.levels[depth]
+}
+
+// Nodes returns all nodes in ID (insertion) order. The returned slice
+// is shared; callers must not mutate it.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// WalkBottomUp visits every node in inverse level order: deepest level
+// first, root last. Within a level, nodes are visited in insertion
+// order. This is the traversal used by the SHHH computation and by
+// ADA's merge pass.
+func (t *Tree) WalkBottomUp(fn func(n *Node)) {
+	for d := len(t.levels) - 1; d >= 0; d-- {
+		for _, n := range t.levels[d] {
+			fn(n)
+		}
+	}
+}
+
+// WalkTopDown visits every node in level order: root first. This is
+// the traversal used by ADA's split pass.
+func (t *Tree) WalkTopDown(fn func(n *Node)) {
+	for d := 0; d < len(t.levels); d++ {
+		for _, n := range t.levels[d] {
+			fn(n)
+		}
+	}
+}
+
+// TypicalDegrees reports, per level k (1-based as in Table II of the
+// paper), the median out-degree of nodes at depth k-1 that have
+// children. It reproduces the "typical degree at kth level" rows.
+func (t *Tree) TypicalDegrees() []int {
+	out := make([]int, 0, len(t.levels))
+	for d := 0; d < len(t.levels)-1; d++ {
+		degs := make([]int, 0, len(t.levels[d]))
+		for _, n := range t.levels[d] {
+			if n.Degree() > 0 {
+				degs = append(degs, n.Degree())
+			}
+		}
+		if len(degs) == 0 {
+			break
+		}
+		sort.Ints(degs)
+		out = append(out, degs[len(degs)/2])
+	}
+	return out
+}
+
+// Validate checks internal invariants (parent/child symmetry, key
+// uniqueness, level bookkeeping). It is used by tests and returns a
+// descriptive error on the first violation found.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("hierarchy: nil root")
+	}
+	seen := make(map[Key]bool, len(t.nodes))
+	for id, n := range t.nodes {
+		if n.ID != id {
+			return fmt.Errorf("hierarchy: node %q has ID %d at index %d", n.Key, n.ID, id)
+		}
+		if seen[n.Key] {
+			return fmt.Errorf("hierarchy: duplicate key %q", n.Key)
+		}
+		seen[n.Key] = true
+		if n.parent == nil {
+			if n != t.root {
+				return fmt.Errorf("hierarchy: non-root node %q has nil parent", n.Key)
+			}
+			continue
+		}
+		if n.parent.children[n.Label] != n {
+			return fmt.Errorf("hierarchy: parent of %q does not link back", n.Key)
+		}
+		if n.Depth != n.parent.Depth+1 {
+			return fmt.Errorf("hierarchy: node %q depth %d, parent depth %d", n.Key, n.Depth, n.parent.Depth)
+		}
+		if got, ok := n.Key.Parent(); !ok || got != n.parent.Key {
+			return fmt.Errorf("hierarchy: key parent of %q mismatch", n.Key)
+		}
+	}
+	total := 0
+	for d, level := range t.levels {
+		for _, n := range level {
+			if n.Depth != d {
+				return fmt.Errorf("hierarchy: node %q at level %d has depth %d", n.Key, d, n.Depth)
+			}
+		}
+		total += len(level)
+	}
+	if total != len(t.nodes) {
+		return fmt.Errorf("hierarchy: levels hold %d nodes, tree has %d", total, len(t.nodes))
+	}
+	return nil
+}

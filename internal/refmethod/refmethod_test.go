@@ -1,0 +1,115 @@
+package refmethod
+
+import (
+	"testing"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/hierarchy"
+)
+
+func key(parts ...string) hierarchy.Key { return hierarchy.KeyOf(parts) }
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "zero K", cfg: Config{K: 0, Window: 4}},
+		{name: "tiny window", cfg: Config{K: 3, Window: 1}},
+		{name: "negative MinSigma", cfg: Config{K: 3, Window: 4, MinSigma: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Fatal("New must fail")
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartAlarmsOnSpike(t *testing.T) {
+	c, err := New(Config{K: 3, Window: 8, MinSigma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate with steady traffic on vho1, then spike it.
+	for i := 0; i < 10; i++ {
+		u := algo.Timeunit{key("vho1", "io1"): 5, key("vho2", "io1"): 5}
+		if alarms := c.Observe(u); len(alarms) != 0 {
+			t.Fatalf("calibration alarm at %d: %+v", i, alarms)
+		}
+	}
+	u := algo.Timeunit{key("vho1", "io1"): 50, key("vho2", "io1"): 5}
+	alarms := c.Observe(u)
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(alarms))
+	}
+	a := alarms[0]
+	if a.Key != key("vho1") {
+		t.Fatalf("alarm key = %v, want vho1", a.Key)
+	}
+	if a.Instance != 10 {
+		t.Fatalf("alarm instance = %d, want 10", a.Instance)
+	}
+	if a.Value != 50 || a.Mean != 5 {
+		t.Fatalf("alarm stats = %+v", a)
+	}
+	if c.Instance() != 11 {
+		t.Fatalf("Instance = %d, want 11", c.Instance())
+	}
+}
+
+func TestChartIgnoresDeepSpike(t *testing.T) {
+	// A spike confined to one DSLAM that barely moves the VHO
+	// aggregate must not alarm — the blind spot §VII-B discusses.
+	c, err := New(Config{K: 3, Window: 8, MinSigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		u := algo.Timeunit{}
+		for d := 0; d < 20; d++ {
+			u[key("vho1", "io1", "co1", "dslam"+string(rune('a'+d)))] = 5
+		}
+		c.Observe(u)
+	}
+	u := algo.Timeunit{}
+	for d := 0; d < 20; d++ {
+		u[key("vho1", "io1", "co1", "dslam"+string(rune('a'+d)))] = 5
+	}
+	u[key("vho1", "io1", "co1", "dslama")] = 8 // small local bump
+	if alarms := c.Observe(u); len(alarms) != 0 {
+		t.Fatalf("VHO-level chart must miss a small deep spike, got %+v", alarms)
+	}
+}
+
+func TestChartNoAlarmBeforeCalibration(t *testing.T) {
+	c, err := New(Config{K: 1, Window: 16, MinSigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		u := algo.Timeunit{key("v", "x"): float64(1 + i*100)}
+		if alarms := c.Observe(u); len(alarms) != 0 {
+			t.Fatalf("no alarms before the window fills, got %+v at %d", alarms, i)
+		}
+	}
+}
+
+func TestChartMinSigmaFloorsNoise(t *testing.T) {
+	c, err := New(Config{K: 3, Window: 4, MinSigma: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Observe(algo.Timeunit{key("v"): 5})
+	}
+	// With sigma floored at 10, a bump to 20 (mean 5 + 15 < 3*10) is
+	// within limits.
+	if alarms := c.Observe(algo.Timeunit{key("v"): 20}); len(alarms) != 0 {
+		t.Fatalf("MinSigma must suppress small excursions, got %+v", alarms)
+	}
+}

@@ -1,0 +1,139 @@
+package report
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+
+	"tiresias/internal/detect"
+)
+
+// dashboardTmpl renders the operator-facing web report (Fig. 3(f)'s
+// "Web Report" pane): recent anomalies, a per-depth summary, and the
+// query form. It is deliberately dependency-free server-rendered HTML.
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Tiresias — anomaly report</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+table { border-collapse: collapse; margin-top: 1rem; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.7rem; text-align: left; }
+th { background: #f3f3f3; }
+.score-high { color: #b00; font-weight: bold; }
+form { margin-top: 1rem; }
+.summary { color: #555; }
+</style>
+</head>
+<body>
+<h1>Tiresias anomaly report</h1>
+<p class="summary">{{.Total}} anomalies stored; showing {{len .Anomalies}}.
+Depth histogram: {{range .Depths}}[depth {{.Depth}}: {{.Count}}] {{end}}</p>
+<form method="get" action="/">
+  subtree <input name="under" value="{{.Under}}" placeholder="vho1/io2">
+  from <input name="from" value="{{.From}}" size="6">
+  to <input name="to" value="{{.To}}" size="6">
+  limit <input name="limit" value="{{.Limit}}" size="4">
+  <button>query</button>
+</form>
+<table>
+<tr><th>Instance</th><th>Time</th><th>Location</th><th>Depth</th><th>Actual</th><th>Forecast</th><th>Ratio</th></tr>
+{{range .Anomalies}}
+<tr>
+  <td>{{.Instance}}</td>
+  <td>{{.TimeStr}}</td>
+  <td>{{.Location}}</td>
+  <td>{{.Depth}}</td>
+  <td>{{printf "%.1f" .Actual}}</td>
+  <td>{{printf "%.1f" .Forecast}}</td>
+  <td class="{{if gt .Ratio 5.0}}score-high{{end}}">{{printf "%.1fx" .Ratio}}</td>
+</tr>
+{{end}}
+</table>
+</body>
+</html>`))
+
+type dashboardRow struct {
+	Instance int
+	TimeStr  string
+	Location string
+	Depth    int
+	Actual   float64
+	Forecast float64
+	Ratio    float64
+}
+
+type depthCount struct {
+	Depth, Count int
+}
+
+type dashboardData struct {
+	Total     int
+	Under     string
+	From, To  string
+	Limit     string
+	Depths    []depthCount
+	Anomalies []dashboardRow
+}
+
+// DashboardHandler returns an http.Handler serving the HTML report at
+// "/" alongside the JSON API of Handler.
+func (s *Store) DashboardHandler() http.Handler {
+	mux := http.NewServeMux()
+	api, ok := s.Handler().(*http.ServeMux)
+	if ok {
+		mux.Handle("GET /anomalies", api)
+		mux.Handle("GET /stats", api)
+	}
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.Limit <= 0 {
+			q.Limit = 200
+		}
+		anoms := s.Query(q)
+		data := dashboardData{
+			Total: s.Len(),
+			Under: r.URL.Query().Get("under"),
+			From:  r.URL.Query().Get("from"),
+			To:    r.URL.Query().Get("to"),
+			Limit: r.URL.Query().Get("limit"),
+		}
+		depths := make(map[int]int)
+		for _, a := range anoms {
+			depths[a.Depth]++
+			data.Anomalies = append(data.Anomalies, toRow(a))
+		}
+		for d, c := range depths {
+			data.Depths = append(data.Depths, depthCount{Depth: d, Count: c})
+		}
+		sort.Slice(data.Depths, func(i, j int) bool { return data.Depths[i].Depth < data.Depths[j].Depth })
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := dashboardTmpl.Execute(w, data); err != nil {
+			// Headers already sent; nothing recoverable.
+			return
+		}
+	})
+	return mux
+}
+
+func toRow(a detect.Anomaly) dashboardRow {
+	ts := ""
+	if !a.Time.IsZero() {
+		ts = a.Time.Format(time.RFC3339)
+	}
+	return dashboardRow{
+		Instance: a.Instance,
+		TimeStr:  ts,
+		Location: a.Key.String(),
+		Depth:    a.Depth,
+		Actual:   a.Actual,
+		Forecast: a.Forecast,
+		Ratio:    a.Score(),
+	}
+}

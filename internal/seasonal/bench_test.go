@@ -1,0 +1,57 @@
+package seasonal
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func benchSeries(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 100 + 40*math.Sin(2*math.Pi*float64(i)/96) + 10*math.Sin(2*math.Pi*float64(i)/672)
+	}
+	return out
+}
+
+// BenchmarkFFT8K transforms the paper's 12-week window (8064 samples
+// padded to 8192).
+func BenchmarkFFT8K(b *testing.B) {
+	series := benchSeries(8064)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTReal(series)
+	}
+}
+
+// BenchmarkPeriodogram includes detrending and normalization.
+func BenchmarkPeriodogram(b *testing.B) {
+	series := benchSeries(8064)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Periodogram(series, 15*time.Minute)
+	}
+}
+
+// BenchmarkDominantPeriods is the full Step-3 seasonality analysis.
+func BenchmarkDominantPeriods(b *testing.B) {
+	series := benchSeries(8064)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DominantPeriods(series, 15*time.Minute, 0.2, 2)
+	}
+}
+
+// BenchmarkATrous6Levels decomposes the same window across six dyadic
+// scales.
+func BenchmarkATrous6Levels(b *testing.B) {
+	series := benchSeries(8064)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(series, 6)
+	}
+}

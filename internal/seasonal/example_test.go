@@ -1,0 +1,43 @@
+package seasonal_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tiresias/internal/seasonal"
+)
+
+// ExampleDominantPeriods finds the daily cycle in an hourly series,
+// the Step-3 analysis that picks Holt-Winters season lengths.
+func ExampleDominantPeriods() {
+	series := make([]float64, 21*24) // three weeks, hourly
+	for i := range series {
+		series[i] = 100 + 40*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	peaks := seasonal.DominantPeriods(series, time.Hour, 0.2, 1)
+	if len(peaks) == 0 {
+		fmt.Println("no peak")
+		return
+	}
+	fmt.Printf("dominant period ≈ %.0f hours\n", peaks[0].Period.Hours())
+	// Output:
+	// dominant period ≈ 24 hours
+}
+
+// ExampleDecompose shows the à-trous identity: the coarsest smooth
+// plus all detail signals reconstructs the input exactly.
+func ExampleDecompose() {
+	series := []float64{4, 8, 6, 5, 3, 7, 9, 2}
+	d := seasonal.Decompose(series, 2)
+	rec := d.Reconstruct()
+	maxErr := 0.0
+	for i := range series {
+		if e := math.Abs(rec[i] - series[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("levels=%d reconstruction error=%.1e\n", len(d.Detail), maxErr)
+	// Output:
+	// levels=2 reconstruction error=0.0e+00
+}

@@ -1,0 +1,195 @@
+// Package seasonal implements the time-series seasonality analysis of
+// §VI: a Fast Fourier Transform periodogram to find dominant periods
+// (Fig. 11) and the à-trous wavelet multi-resolution analysis with the
+// low-pass B3 spline filter (1/16, 1/4, 3/8, 1/4, 1/16) whose
+// detail-signal energies indicate the strength of fluctuations per
+// timescale. Tiresias uses the agreement of the two methods to select
+// the seasonal periods of the Holt-Winters model automatically.
+package seasonal
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sort"
+	"time"
+)
+
+// FFT computes the in-place iterative radix-2 Cooley-Tukey transform
+// of x. len(x) must be a power of two; use FFTReal for arbitrary-
+// length real input (it zero-pads).
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("seasonal: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// FFTReal transforms a real-valued series, zero-padding to the next
+// power of two, and returns the complex spectrum.
+func FFTReal(series []float64) []complex128 {
+	n := nextPow2(len(series))
+	x := make([]complex128, n)
+	for i, v := range series {
+		x[i] = complex(v, 0)
+	}
+	_ = FFT(x) // length is a power of two by construction
+	return x
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// PeriodogramPoint is one bin of a magnitude spectrum mapped back to
+// the time domain.
+type PeriodogramPoint struct {
+	// Period is the cycle length corresponding to the bin.
+	Period time.Duration
+	// PeriodUnits is the cycle length in sample units.
+	PeriodUnits float64
+	// Magnitude is the normalized spectral magnitude in [0, 1]
+	// (normalized by the maximum non-DC magnitude, as in Fig. 11).
+	Magnitude float64
+}
+
+// Periodogram computes the normalized magnitude spectrum of series
+// sampled every sampleInterval. Only bins up to the Nyquist frequency
+// are returned, excluding the DC component, ordered by increasing
+// period.
+func Periodogram(series []float64, sampleInterval time.Duration) []PeriodogramPoint {
+	if len(series) < 4 {
+		return nil
+	}
+	// Remove the mean so the DC term does not dominate.
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(len(series))
+	detrended := make([]float64, len(series))
+	for i, v := range series {
+		detrended[i] = v - mean
+	}
+	spec := FFTReal(detrended)
+	n := len(spec)
+	maxMag := 0.0
+	mags := make([]float64, n/2)
+	for k := 1; k < n/2; k++ {
+		mags[k] = cmplx.Abs(spec[k])
+		if mags[k] > maxMag {
+			maxMag = mags[k]
+		}
+	}
+	if maxMag == 0 {
+		maxMag = 1
+	}
+	out := make([]PeriodogramPoint, 0, n/2-1)
+	for k := n/2 - 1; k >= 1; k-- {
+		period := float64(n) / float64(k)
+		out = append(out, PeriodogramPoint{
+			Period:      time.Duration(period * float64(sampleInterval)),
+			PeriodUnits: period,
+			Magnitude:   mags[k] / maxMag,
+		})
+	}
+	return out
+}
+
+// DominantPeriods returns up to max periods whose spectral magnitude
+// is a local maximum at least minMagnitude (relative to the strongest
+// component), strongest first. This is the automatic seasonal-factor
+// selection of Step 3.
+func DominantPeriods(series []float64, sampleInterval time.Duration, minMagnitude float64, max int) []PeriodogramPoint {
+	pg := Periodogram(series, sampleInterval)
+	var peaks []PeriodogramPoint
+	for i := range pg {
+		if pg[i].Magnitude < minMagnitude {
+			continue
+		}
+		left := i == 0 || pg[i-1].Magnitude <= pg[i].Magnitude
+		right := i == len(pg)-1 || pg[i+1].Magnitude < pg[i].Magnitude
+		if left && right {
+			peaks = append(peaks, pg[i])
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Magnitude > peaks[j].Magnitude })
+	// Suppress near-harmonics of an already selected stronger peak:
+	// keep a peak only if its period is not within 20% of a multiple
+	// or submultiple of a kept one.
+	kept := make([]PeriodogramPoint, 0, max)
+	for _, p := range peaks {
+		dup := false
+		for _, k := range kept {
+			r := p.PeriodUnits / k.PeriodUnits
+			if r < 1 {
+				r = 1 / r
+			}
+			frac := r - math.Floor(r)
+			if frac > 0.5 {
+				frac = 1 - frac
+			}
+			if frac < 0.2*math.Floor(r+0.5)/math.Max(1, math.Floor(r+0.5)) && r < 1.25 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, p)
+		}
+		if len(kept) == max {
+			break
+		}
+	}
+	return kept
+}
+
+// SeasonWeight computes the paper's ξ = FFT_p1 / FFT_p2 weighting used
+// to combine two seasonal factors (§VII "System parameters"), clamped
+// to [0, 1]. mag1 and mag2 are the spectral magnitudes of the two
+// chosen periods.
+func SeasonWeight(mag1, mag2 float64) float64 {
+	if mag1 <= 0 {
+		return 0
+	}
+	if mag2 <= 0 {
+		return 1
+	}
+	// The paper reports ξ = FFT_day/FFT_week = 0.76 with the
+	// convention that the ratio lands in [0,1]; clamp to be safe.
+	xi := mag1 / mag2
+	if xi > 1 {
+		xi = 1
+	}
+	return xi
+}

@@ -1,0 +1,293 @@
+package seasonal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	f := func(seed int64, logNRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (logNRaw%6 + 1) // 2..64
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		if err := FFT(got); err != nil {
+			return false
+		}
+		for i := range want {
+			if cmplx.Abs(want[i]-got[i]) > 1e-6*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("length 3 must be rejected")
+	}
+	if err := FFT(nil); err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+// TestFFTParseval: energy in time domain equals energy in frequency
+// domain divided by n.
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 256
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		v := rng.NormFloat64()
+		x[i] = complex(v, 0)
+		timeEnergy += v * v
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, c := range x {
+		freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestPeriodogramFindsSinePeriod(t *testing.T) {
+	n := 1024
+	period := 64
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = 5 + 2*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	pg := Periodogram(series, time.Minute)
+	best := pg[0]
+	for _, p := range pg {
+		if p.Magnitude > best.Magnitude {
+			best = p
+		}
+	}
+	if math.Abs(best.PeriodUnits-float64(period)) > 2 {
+		t.Fatalf("dominant period = %v units, want ≈ %d", best.PeriodUnits, period)
+	}
+	if best.Magnitude != 1 {
+		t.Fatalf("dominant magnitude = %v, want 1 (normalized)", best.Magnitude)
+	}
+	wantDur := time.Duration(period) * time.Minute
+	if d := best.Period - wantDur; d < -2*time.Minute || d > 2*time.Minute {
+		t.Fatalf("dominant period duration = %v, want ≈ %v", best.Period, wantDur)
+	}
+}
+
+func TestPeriodogramShortSeries(t *testing.T) {
+	if got := Periodogram([]float64{1, 2}, time.Second); got != nil {
+		t.Fatal("short series must return nil")
+	}
+	// A constant series has an all-zero spectrum; must not divide by 0.
+	pg := Periodogram(make([]float64, 64), time.Second)
+	for _, p := range pg {
+		if p.Magnitude != 0 {
+			t.Fatalf("constant series must have zero magnitudes, got %v", p.Magnitude)
+		}
+	}
+}
+
+// TestDominantPeriodsDayAndWeek reproduces the Fig. 11 scenario: a
+// series with strong daily and weaker weekly periodicity, sampled
+// hourly; the detector must report both periods.
+func TestDominantPeriodsDayAndWeek(t *testing.T) {
+	weeks := 12
+	n := weeks * 7 * 24 // hourly samples
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, n)
+	for i := range series {
+		day := math.Sin(2 * math.Pi * float64(i) / 24)
+		week := math.Sin(2 * math.Pi * float64(i) / (7 * 24))
+		series[i] = 100 + 40*day + 25*week + rng.NormFloat64()*3
+	}
+	peaks := DominantPeriods(series, time.Hour, 0.2, 3)
+	if len(peaks) < 2 {
+		t.Fatalf("want >= 2 dominant periods, got %d: %+v", len(peaks), peaks)
+	}
+	foundDay, foundWeek := false, false
+	for _, p := range peaks {
+		h := p.Period.Hours()
+		if h > 20 && h < 28 {
+			foundDay = true
+		}
+		if h > 150 && h < 185 {
+			foundWeek = true
+		}
+	}
+	if !foundDay || !foundWeek {
+		t.Fatalf("day/week peaks = %v/%v; peaks: %+v", foundDay, foundWeek, peaks)
+	}
+	// The daily component is stronger, so it must rank first.
+	if h := peaks[0].Period.Hours(); h > 28 || h < 20 {
+		t.Fatalf("strongest peak at %v h, want ≈ 24 h", h)
+	}
+}
+
+func TestSeasonWeight(t *testing.T) {
+	tests := []struct {
+		name       string
+		mag1, mag2 float64
+		want       float64
+	}{
+		{name: "paper value", mag1: 0.76, mag2: 1.0, want: 0.76},
+		{name: "clamped above", mag1: 2, mag2: 1, want: 1},
+		{name: "zero first", mag1: 0, mag2: 1, want: 0},
+		{name: "zero second", mag1: 1, mag2: 0, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SeasonWeight(tt.mag1, tt.mag2); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("SeasonWeight(%v, %v) = %v, want %v", tt.mag1, tt.mag2, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestATrousReconstruction: the smooth plus all details reconstructs
+// the input exactly (a structural identity of the à-trous scheme).
+func TestATrousReconstruction(t *testing.T) {
+	f := func(seed int64, nRaw uint8, levelsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 8
+		levels := int(levelsRaw%4) + 1
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = rng.NormFloat64() * 10
+		}
+		a := Decompose(series, levels)
+		rec := a.Reconstruct()
+		if len(rec) != n {
+			return false
+		}
+		for i := range rec {
+			if math.Abs(rec[i]-series[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestATrousSmoothsProgressively(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 512
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	a := Decompose(series, 4)
+	variance := func(x []float64) float64 {
+		var m float64
+		for _, v := range x {
+			m += v
+		}
+		m /= float64(len(x))
+		var s float64
+		for _, v := range x {
+			s += (v - m) * (v - m)
+		}
+		return s / float64(len(x))
+	}
+	for j := 1; j < len(a.Approx); j++ {
+		if variance(a.Approx[j]) >= variance(a.Approx[j-1]) {
+			t.Fatalf("approximation %d not smoother than %d", j, j-1)
+		}
+	}
+}
+
+// TestATrousDominantScale: a pure oscillation with period ~2^k shows
+// its largest detail energy near scale k.
+func TestATrousDominantScale(t *testing.T) {
+	n := 1024
+	period := 16.0
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	a := Decompose(series, 7)
+	j, ok := a.DominantScale()
+	if !ok {
+		t.Fatal("no dominant scale")
+	}
+	// Period 16 ≈ 2^4; detail index j covers scale 2^(j+1), so the
+	// peak should land around j = 2..4.
+	if j < 2 || j > 4 {
+		t.Fatalf("dominant detail index = %d, want 2..4 (energies %v)", j, a.Energies())
+	}
+}
+
+func TestATrousEdgeCases(t *testing.T) {
+	a := Decompose(nil, 3)
+	if len(a.Approx) != 0 || len(a.Detail) != 0 {
+		t.Fatal("empty input must yield empty decomposition")
+	}
+	if _, ok := a.DominantScale(); ok {
+		t.Fatal("empty decomposition has no dominant scale")
+	}
+	if a.Reconstruct() != nil {
+		t.Fatal("empty reconstruction must be nil")
+	}
+	single := Decompose([]float64{5}, 2)
+	rec := single.Reconstruct()
+	if len(rec) != 1 || math.Abs(rec[0]-5) > 1e-12 {
+		t.Fatalf("single-sample reconstruction = %v", rec)
+	}
+}
+
+func TestMirror(t *testing.T) {
+	tests := []struct {
+		i, n, want int
+	}{
+		{i: 0, n: 5, want: 0},
+		{i: 4, n: 5, want: 4},
+		{i: 5, n: 5, want: 3},
+		{i: -1, n: 5, want: 1},
+		{i: -2, n: 5, want: 2},
+		{i: 8, n: 5, want: 0},
+		{i: 3, n: 1, want: 0},
+	}
+	for _, tt := range tests {
+		if got := mirror(tt.i, tt.n); got != tt.want {
+			t.Errorf("mirror(%d, %d) = %d, want %d", tt.i, tt.n, got, tt.want)
+		}
+	}
+}

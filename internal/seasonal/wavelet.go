@@ -1,0 +1,133 @@
+package seasonal
+
+// This file implements the à-trous ("with holes") stationary wavelet
+// transform used in §VI to cross-validate the FFT's periodicity
+// findings. Following Shensa's formulation and the smoothing setup of
+// Papagiannaki et al., the smooth approximation at scale j is produced
+// by convolving the previous approximation with the B3 spline filter
+// whose taps are spaced 2^(j-1) samples apart ("holes"); the detail at
+// scale j is the difference of consecutive approximations, and its
+// energy measures fluctuation strength at that timescale.
+
+// b3Taps is the low-pass B3 spline filter (1/16, 1/4, 3/8, 1/4, 1/16).
+var b3Taps = [5]float64{1.0 / 16, 1.0 / 4, 3.0 / 8, 1.0 / 4, 1.0 / 16}
+
+// ATrous holds the multi-resolution decomposition of a series.
+type ATrous struct {
+	// Approx[j] is the smoothed approximation c_j; Approx[0] is the
+	// input itself.
+	Approx [][]float64
+	// Detail[j] is d_{j+1} = c_j − c_{j+1}, the fluctuation captured
+	// between scales j and j+1 (dyadic scale 2^(j+1)).
+	Detail [][]float64
+}
+
+// Decompose runs the à-trous transform for the given number of scales.
+// Boundaries are handled by symmetric (mirror) extension, which avoids
+// the phase shift the paper calls out. levels is clamped so that the
+// widest filter still fits three mirror-extensions into the series.
+func Decompose(series []float64, levels int) *ATrous {
+	n := len(series)
+	if n == 0 || levels <= 0 {
+		return &ATrous{}
+	}
+	a := &ATrous{
+		Approx: make([][]float64, 0, levels+1),
+		Detail: make([][]float64, 0, levels),
+	}
+	cur := make([]float64, n)
+	copy(cur, series)
+	a.Approx = append(a.Approx, cur)
+	spacing := 1
+	for j := 0; j < levels; j++ {
+		next := convolveHoles(cur, spacing)
+		detail := make([]float64, n)
+		for i := range detail {
+			detail[i] = cur[i] - next[i]
+		}
+		a.Approx = append(a.Approx, next)
+		a.Detail = append(a.Detail, detail)
+		cur = next
+		spacing <<= 1
+	}
+	return a
+}
+
+// convolveHoles applies the B3 filter with the given tap spacing using
+// mirror boundary extension.
+func convolveHoles(x []float64, spacing int) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for t := -2; t <= 2; t++ {
+			idx := mirror(i+t*spacing, n)
+			s += b3Taps[t+2] * x[idx]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// mirror reflects an index into [0, n).
+func mirror(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	period := 2 * (n - 1)
+	i %= period
+	if i < 0 {
+		i += period
+	}
+	if i >= n {
+		i = period - i
+	}
+	return i
+}
+
+// Energies returns the energy of each detail signal, Σ_t d_j(t)², the
+// per-timescale fluctuation strength used to confirm the FFT peaks.
+func (a *ATrous) Energies() []float64 {
+	out := make([]float64, len(a.Detail))
+	for j, d := range a.Detail {
+		var e float64
+		for _, v := range d {
+			e += v * v
+		}
+		out[j] = e
+	}
+	return out
+}
+
+// Reconstruct sums the final approximation and all details; by
+// construction of the à-trous scheme this equals the input exactly.
+func (a *ATrous) Reconstruct() []float64 {
+	if len(a.Approx) == 0 {
+		return nil
+	}
+	last := a.Approx[len(a.Approx)-1]
+	out := make([]float64, len(last))
+	copy(out, last)
+	for _, d := range a.Detail {
+		for i := range out {
+			out[i] += d[i]
+		}
+	}
+	return out
+}
+
+// DominantScale returns the index j (0-based; dyadic scale 2^(j+1)
+// samples) of the detail signal with the largest energy, and true when
+// the decomposition has at least one level.
+func (a *ATrous) DominantScale() (int, bool) {
+	if len(a.Detail) == 0 {
+		return 0, false
+	}
+	best, bestE := 0, -1.0
+	for j, e := range a.Energies() {
+		if e > bestE {
+			best, bestE = j, e
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,59 @@
+package series
+
+import "testing"
+
+// BenchmarkRingAppend measures the steady-state series update (the
+// O(1) amortized cost ADA relies on).
+func BenchmarkRingAppend(b *testing.B) {
+	r := NewRing(8064)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append(float64(i))
+	}
+}
+
+// BenchmarkRingAddRing measures a MERGE of two full paper-length
+// series.
+func BenchmarkRingAddRing(b *testing.B) {
+	a := NewRing(8064)
+	c := NewRing(8064)
+	for i := 0; i < 8064; i++ {
+		a.Append(float64(i))
+		c.Append(float64(i) / 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.AddRing(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingScale measures a SPLIT's series scaling.
+func BenchmarkRingScale(b *testing.B) {
+	r := NewRing(8064)
+	for i := 0; i < 8064; i++ {
+		r.Append(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Scale(1.0000001)
+	}
+}
+
+// BenchmarkMultiScaleUpdate measures the UPDATE_TS cascade (Fig. 10)
+// at the paper's parameters (λ=4, η=3).
+func BenchmarkMultiScaleUpdate(b *testing.B) {
+	m, err := NewMultiScale(4, 3, 8064)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(float64(i % 17))
+	}
+}

@@ -1,0 +1,267 @@
+// Package series provides the time-series containers Tiresias attaches
+// to heavy-hitter nodes: a fixed-capacity ring (the per-node series of
+// length ℓ from Definition 3) and the multi-timescale structure of
+// §V-B6 / Fig. 10 that supports any time increment ς dividing the
+// timeunit size Δ with amortized O(1) updates.
+package series
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShape is returned when two series with incompatible shapes are
+// combined.
+var ErrShape = errors.New("series: incompatible shapes")
+
+// Ring is a fixed-capacity FIFO of float64 samples. Appending beyond
+// capacity evicts the oldest sample. Index 0 is the oldest retained
+// sample; Last() is the newest. The zero value is unusable; create
+// with NewRing.
+type Ring struct {
+	data []float64
+	head int // index of oldest element
+	n    int // number of live elements
+}
+
+// NewRing returns an empty ring with the given capacity (must be > 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{data: make([]float64, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.data) }
+
+// Len returns the number of live samples.
+func (r *Ring) Len() int { return r.n }
+
+// Append adds a sample, evicting the oldest if the ring is full.
+func (r *Ring) Append(v float64) {
+	if r.n < len(r.data) {
+		r.data[(r.head+r.n)%len(r.data)] = v
+		r.n++
+		return
+	}
+	r.data[r.head] = v
+	r.head = (r.head + 1) % len(r.data)
+}
+
+// At returns the i-th sample, 0 = oldest. It panics on out-of-range,
+// mirroring slice semantics.
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("series: index %d out of range [0,%d)", i, r.n))
+	}
+	return r.data[(r.head+i)%len(r.data)]
+}
+
+// Last returns the newest sample and false if the ring is empty.
+func (r *Ring) Last() (float64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.At(r.n - 1), true
+}
+
+// Values copies the live samples oldest-first into a new slice.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Scale multiplies every sample by f in place. Used by ADA's SPLIT,
+// which hands each child the parent's series scaled by the split
+// ratio.
+func (r *Ring) Scale(f float64) {
+	for i := range r.data {
+		r.data[i] *= f
+	}
+}
+
+// AddRing adds other's samples elementwise, aligning newest-to-newest.
+// Both rings must have the same capacity; the receiver's length
+// becomes the max of the two. Used by ADA's MERGE.
+func (r *Ring) AddRing(other *Ring) error {
+	if other == nil {
+		return nil
+	}
+	if len(r.data) != len(other.data) {
+		return fmt.Errorf("%w: cap %d vs %d", ErrShape, len(r.data), len(other.data))
+	}
+	if other.n > r.n {
+		// Grow the receiver with leading zeros so alignment by
+		// newest sample is preserved.
+		grow := other.n - r.n
+		r.head = (r.head - grow + len(r.data)*2) % len(r.data)
+		for i := 0; i < grow; i++ {
+			r.data[(r.head+i)%len(r.data)] = 0
+		}
+		r.n = other.n
+	}
+	for i := 0; i < other.n; i++ {
+		// Align i-th-from-newest.
+		ri := r.n - 1 - i
+		oi := other.n - 1 - i
+		r.data[(r.head+ri)%len(r.data)] += other.data[(other.head+oi)%len(other.data)]
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{data: make([]float64, len(r.data)), head: r.head, n: r.n}
+	copy(c.data, r.data)
+	return c
+}
+
+// SetValues replaces the ring contents with vs (oldest-first). If vs
+// is longer than capacity only the newest Cap() samples are kept.
+func (r *Ring) SetValues(vs []float64) {
+	r.head, r.n = 0, 0
+	start := 0
+	if len(vs) > len(r.data) {
+		start = len(vs) - len(r.data)
+	}
+	for _, v := range vs[start:] {
+		r.Append(v)
+	}
+}
+
+// MultiScale maintains the same signal at η geometrically spaced
+// timescales: scale i has resolution λ^i timeunits (Fig. 10). Each
+// scale keeps at most ell samples (plus up to λ staged samples at
+// finer scales, exactly as the paper's pop_head-λ-times rule). Updates
+// are amortized O(1) per timeunit.
+type MultiScale struct {
+	lambda int
+	ell    int
+	scales [][]float64
+	// fills counts samples appended at each scale since the last
+	// cascade, so scale i+1 aggregates exactly lambda buckets of
+	// scale i.
+	fills []int
+}
+
+// NewMultiScale returns a MultiScale with eta scales, base-λ spacing,
+// and per-scale window length ell. lambda must be >= 2 and eta >= 1.
+func NewMultiScale(lambda, eta, ell int) (*MultiScale, error) {
+	if lambda < 2 {
+		return nil, fmt.Errorf("series: lambda must be >= 2, got %d", lambda)
+	}
+	if eta < 1 {
+		return nil, fmt.Errorf("series: eta must be >= 1, got %d", eta)
+	}
+	if ell < 1 {
+		return nil, fmt.Errorf("series: ell must be >= 1, got %d", ell)
+	}
+	return &MultiScale{
+		lambda: lambda,
+		ell:    ell,
+		scales: make([][]float64, eta),
+		fills:  make([]int, eta),
+	}, nil
+}
+
+// Scales returns η, the number of timescales.
+func (m *MultiScale) Scales() int { return len(m.scales) }
+
+// Lambda returns the base spacing λ.
+func (m *MultiScale) Lambda() int { return m.lambda }
+
+// Update appends the newest timeunit weight w at the finest scale and
+// cascades aggregated sums to coarser scales (UPDATE_TS in Fig. 10).
+func (m *MultiScale) Update(w float64) {
+	m.update(w, 0)
+}
+
+func (m *MultiScale) update(w float64, i int) {
+	m.scales[i] = append(m.scales[i], w)
+	m.fills[i]++
+	if i+1 < len(m.scales) && m.fills[i]%m.lambda == 0 {
+		s := m.scales[i]
+		var agg float64
+		for j := len(s) - m.lambda; j < len(s); j++ {
+			agg += s[j]
+		}
+		m.update(agg, i+1)
+	}
+	// Trim: the paper pops λ head elements once size reaches ℓ+λ.
+	if len(m.scales[i]) >= m.ell+m.lambda {
+		m.scales[i] = append(m.scales[i][:0], m.scales[i][m.lambda:]...)
+	}
+}
+
+// Series returns the samples retained at scale i, oldest first. The
+// returned slice is shared; callers must not mutate it.
+func (m *MultiScale) Series(i int) []float64 {
+	if i < 0 || i >= len(m.scales) {
+		return nil
+	}
+	return m.scales[i]
+}
+
+// Total returns the total number of float64 slots currently held, for
+// the memory accounting of Table IV.
+func (m *MultiScale) Total() int {
+	n := 0
+	for _, s := range m.scales {
+		n += len(s)
+	}
+	return n
+}
+
+// Scale multiplies every retained sample at every timescale by f.
+// Used when ADA splits a multi-scale series to a child.
+func (m *MultiScale) Scale(f float64) {
+	for _, s := range m.scales {
+		for i := range s {
+			s[i] *= f
+		}
+	}
+}
+
+// Add folds other's samples into the receiver, scale by scale,
+// aligning newest-to-newest. Shapes (λ, η) must match.
+func (m *MultiScale) Add(other *MultiScale) error {
+	if other == nil {
+		return nil
+	}
+	if m.lambda != other.lambda || len(m.scales) != len(other.scales) {
+		return fmt.Errorf("%w: multiscale (λ=%d,η=%d) vs (λ=%d,η=%d)",
+			ErrShape, m.lambda, len(m.scales), other.lambda, len(other.scales))
+	}
+	for i := range m.scales {
+		a, b := m.scales[i], other.scales[i]
+		if len(b) > len(a) {
+			grown := make([]float64, len(b))
+			copy(grown[len(b)-len(a):], a)
+			m.scales[i] = grown
+			a = grown
+		}
+		for j := 0; j < len(b); j++ {
+			a[len(a)-1-j] += b[len(b)-1-j]
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (m *MultiScale) Clone() *MultiScale {
+	c := &MultiScale{
+		lambda: m.lambda,
+		ell:    m.ell,
+		scales: make([][]float64, len(m.scales)),
+		fills:  make([]int, len(m.fills)),
+	}
+	copy(c.fills, m.fills)
+	for i, s := range m.scales {
+		c.scales[i] = append([]float64(nil), s...)
+	}
+	return c
+}

@@ -1,0 +1,139 @@
+// Package shhh implements Definitions 1 and 2 of the paper: the
+// Hierarchical Heavy Hitter (HHH) set and the Succinct Hierarchical
+// Heavy Hitter (SHHH) set, together with the modified-weight
+// computation that SHHH is defined over.
+//
+// This package is the *reference* (offline, single-timeunit)
+// implementation: a plain bottom-up traversal that is provably correct
+// by construction. The strawman STA engine uses it directly; the
+// adaptive ADA engine (package algo) must agree with it — Lemma 1 of
+// the paper, which the test suite checks as a property.
+package shhh
+
+import (
+	"tiresias/internal/hierarchy"
+)
+
+// Counts holds per-category direct counts for one timeunit, keyed by
+// category Key. In the paper's model only leaf categories receive
+// direct counts, but interior keys are accepted too (they behave like
+// an implicit extra child).
+type Counts map[hierarchy.Key]float64
+
+// Total returns the sum of all direct counts.
+func (c Counts) Total() float64 {
+	var s float64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+// Result is the outcome of an SHHH computation over one timeunit.
+type Result struct {
+	// Theta is the heavy-hitter threshold used.
+	Theta float64
+	// A holds the raw aggregated weight An per node ID: the node's
+	// direct count plus the sum over all descendants (Definition 1).
+	A []float64
+	// W holds the modified weight Wn per node ID: the direct count
+	// plus the sum of W over children that are not themselves SHHH
+	// members (Definition 2).
+	W []float64
+	// InSet[id] reports whether the node is in the SHHH set.
+	InSet []bool
+	// Set lists the SHHH members in bottom-up discovery order.
+	Set []*hierarchy.Node
+}
+
+// IsHH reports SHHH membership for a node.
+func (r *Result) IsHH(n *hierarchy.Node) bool {
+	return n.ID < len(r.InSet) && r.InSet[n.ID]
+}
+
+// Compute derives the SHHH set for one timeunit by a bottom-up
+// traversal (the paper notes this yields the unique fixed point of
+// Definition 2). Nodes must already exist in the tree for every key in
+// counts; use Tree.InsertKey beforehand.
+func Compute(t *hierarchy.Tree, counts Counts, theta float64) *Result {
+	r := &Result{
+		Theta: theta,
+		A:     make([]float64, t.Len()),
+		W:     make([]float64, t.Len()),
+		InSet: make([]bool, t.Len()),
+	}
+	for k, v := range counts {
+		if n := t.Lookup(k); n != nil {
+			r.A[n.ID] += v
+			r.W[n.ID] += v
+		}
+	}
+	t.WalkBottomUp(func(n *hierarchy.Node) {
+		for _, c := range n.Children() {
+			r.A[n.ID] += r.A[c.ID]
+			if !r.InSet[c.ID] {
+				r.W[n.ID] += r.W[c.ID]
+			}
+		}
+		if r.W[n.ID] >= theta {
+			r.InSet[n.ID] = true
+			r.Set = append(r.Set, n)
+		}
+	})
+	return r
+}
+
+// ComputeHHH derives the plain (non-succinct) HHH set of Definition 1:
+// all nodes whose raw aggregated weight is at least theta.
+func ComputeHHH(t *hierarchy.Tree, counts Counts, theta float64) []*hierarchy.Node {
+	agg := Aggregate(t, counts)
+	var set []*hierarchy.Node
+	t.WalkBottomUp(func(n *hierarchy.Node) {
+		if agg[n.ID] >= theta {
+			set = append(set, n)
+		}
+	})
+	return set
+}
+
+// Aggregate computes the raw weight An for every node: direct count
+// plus descendant counts.
+func Aggregate(t *hierarchy.Tree, counts Counts) []float64 {
+	a := make([]float64, t.Len())
+	for k, v := range counts {
+		if n := t.Lookup(k); n != nil {
+			a[n.ID] += v
+		}
+	}
+	t.WalkBottomUp(func(n *hierarchy.Node) {
+		for _, c := range n.Children() {
+			a[n.ID] += a[c.ID]
+		}
+	})
+	return a
+}
+
+// FrozenWeights computes, for a single timeunit, the modified weight of
+// every node given a *frozen* SHHH membership (from some other
+// timeunit). This realizes Definition 3: the time series of a heavy
+// hitter at historical timeunit t is its weight after discounting the
+// weights of descendants that are frozen members. inSet is indexed by
+// node ID and may be shorter than the tree (new nodes default to not
+// in the set).
+func FrozenWeights(t *hierarchy.Tree, counts Counts, inSet []bool) []float64 {
+	w := make([]float64, t.Len())
+	for k, v := range counts {
+		if n := t.Lookup(k); n != nil {
+			w[n.ID] += v
+		}
+	}
+	frozen := func(id int) bool { return id < len(inSet) && inSet[id] }
+	t.WalkBottomUp(func(n *hierarchy.Node) {
+		for _, c := range n.Children() {
+			if !frozen(c.ID) {
+				w[n.ID] += w[c.ID]
+			}
+		}
+	})
+	return w
+}

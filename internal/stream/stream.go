@@ -1,0 +1,238 @@
+// Package stream models the input side of Tiresias (§III and Step 1
+// of Fig. 3): a stream of operational-data records, each carrying a
+// hierarchical category and a timestamp, classified into timeunits of
+// size Δ inside a sliding window.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"tiresias/internal/algo"
+	"tiresias/internal/hierarchy"
+)
+
+// Record is a single operational data item s_i = (k_i, t_i): a
+// category drawn from a hierarchical domain plus the recorded time.
+type Record struct {
+	// Path is the category path, root-most component first.
+	Path []string `json:"path"`
+	// Time is the recorded date and time.
+	Time time.Time `json:"time"`
+}
+
+// Key returns the encoded category key.
+func (r Record) Key() hierarchy.Key { return hierarchy.KeyOf(r.Path) }
+
+// Source yields records in non-decreasing time order. Next returns
+// io.EOF after the last record.
+type Source interface {
+	Next() (Record, error)
+}
+
+// SliceSource serves records from an in-memory slice.
+type SliceSource struct {
+	records []Record
+	i       int
+}
+
+var _ Source = (*SliceSource)(nil)
+
+// NewSliceSource copies records (sorting by time) into a Source.
+func NewSliceSource(records []Record) *SliceSource {
+	cp := make([]Record, len(records))
+	copy(cp, records)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Time.Before(cp[j].Time) })
+	return &SliceSource{records: cp}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, error) {
+	if s.i >= len(s.records) {
+		return Record{}, io.EOF
+	}
+	r := s.records[s.i]
+	s.i++
+	return r, nil
+}
+
+// JSONLSource reads one JSON-encoded Record per line.
+type JSONLSource struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+var _ Source = (*JSONLSource)(nil)
+
+// NewJSONLSource wraps a reader producing JSON-lines records.
+func NewJSONLSource(r io.Reader) *JSONLSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &JSONLSource{sc: sc}
+}
+
+// Next implements Source.
+func (s *JSONLSource) Next() (Record, error) {
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return Record{}, fmt.Errorf("stream: line %d: %w", s.line, err)
+		}
+		return r, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return Record{}, fmt.Errorf("stream: scan: %w", err)
+	}
+	return Record{}, io.EOF
+}
+
+// CSVishSource reads records in "RFC3339,comp1/comp2/..." form, the
+// compact format emitted by cmd/tiresias-gen.
+type CSVishSource struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+var _ Source = (*CSVishSource)(nil)
+
+// NewCSVishSource wraps a reader of "time,path" lines.
+func NewCSVishSource(r io.Reader) *CSVishSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &CSVishSource{sc: sc}
+}
+
+// Next implements Source.
+func (s *CSVishSource) Next() (Record, error) {
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		comma := strings.IndexByte(line, ',')
+		if comma < 0 {
+			return Record{}, fmt.Errorf("stream: line %d: missing comma", s.line)
+		}
+		ts, err := time.Parse(time.RFC3339, line[:comma])
+		if err != nil {
+			return Record{}, fmt.Errorf("stream: line %d: %w", s.line, err)
+		}
+		return Record{Time: ts, Path: strings.Split(line[comma+1:], "/")}, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return Record{}, fmt.Errorf("stream: scan: %w", err)
+	}
+	return Record{}, io.EOF
+}
+
+// MarshalCSVish renders a record in the CSVish line format.
+func MarshalCSVish(r Record) string {
+	return r.Time.Format(time.RFC3339) + "," + strings.Join(r.Path, "/")
+}
+
+// ErrOutOfOrder is returned when a record predates the current
+// timeunit floor.
+var ErrOutOfOrder = errors.New("stream: record out of time order")
+
+// Windower classifies records into consecutive timeunits of size Δ
+// (Step 1 of Fig. 3). Feed records in time order with Observe; each
+// time a record crosses a timeunit boundary, the completed timeunits
+// are emitted (possibly several, when the stream has gaps).
+type Windower struct {
+	delta time.Duration
+	start time.Time
+	cur   algo.Timeunit
+	began bool
+}
+
+// NewWindower creates a Windower with timeunit size delta (> 0).
+func NewWindower(delta time.Duration) (*Windower, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("stream: delta must be > 0, got %v", delta)
+	}
+	return &Windower{delta: delta, cur: algo.Timeunit{}}, nil
+}
+
+// Delta returns the timeunit size.
+func (w *Windower) Delta() time.Duration { return w.delta }
+
+// Start returns the start of the current (incomplete) timeunit; the
+// zero time before any record is observed.
+func (w *Windower) Start() time.Time { return w.start }
+
+// Observe adds a record, returning every timeunit completed strictly
+// before the record's own unit (empty units are included so seasonal
+// indexing stays aligned).
+func (w *Windower) Observe(r Record) ([]algo.Timeunit, error) {
+	if !w.began {
+		w.start = r.Time.Truncate(w.delta)
+		w.began = true
+	}
+	if r.Time.Before(w.start) {
+		return nil, fmt.Errorf("%w: %v < %v", ErrOutOfOrder, r.Time, w.start)
+	}
+	var done []algo.Timeunit
+	for !r.Time.Before(w.start.Add(w.delta)) {
+		done = append(done, w.cur)
+		w.cur = algo.Timeunit{}
+		w.start = w.start.Add(w.delta)
+	}
+	w.cur[hierarchy.KeyOf(r.Path)]++
+	return done, nil
+}
+
+// Flush completes and returns the current timeunit (which may be
+// empty) and resets it.
+func (w *Windower) Flush() algo.Timeunit {
+	u := w.cur
+	w.cur = algo.Timeunit{}
+	w.start = w.start.Add(w.delta)
+	return u
+}
+
+// Collect drains a Source into consecutive timeunits of size delta,
+// returning the units (oldest first) and the start time of the first
+// unit.
+func Collect(src Source, delta time.Duration) ([]algo.Timeunit, time.Time, error) {
+	w, err := NewWindower(delta)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	var units []algo.Timeunit
+	var first time.Time
+	seen := false
+	for {
+		r, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, time.Time{}, err
+		}
+		done, err := w.Observe(r)
+		if err != nil {
+			return nil, time.Time{}, err
+		}
+		if !seen {
+			first = w.Start()
+			seen = true
+		}
+		units = append(units, done...)
+	}
+	if seen {
+		units = append(units, w.Flush())
+	}
+	return units, first, nil
+}

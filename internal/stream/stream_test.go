@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"tiresias/internal/hierarchy"
+)
+
+func t0() time.Time {
+	return time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func rec(offset time.Duration, path ...string) Record {
+	return Record{Path: path, Time: t0().Add(offset)}
+}
+
+func TestSliceSourceSortsByTime(t *testing.T) {
+	src := NewSliceSource([]Record{
+		rec(2*time.Minute, "b"),
+		rec(1*time.Minute, "a"),
+	})
+	r1, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Path[0] != "a" {
+		t.Fatalf("first record = %v, want a", r1.Path)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestJSONLSourceRoundTrip(t *testing.T) {
+	in := `{"path":["tv","no-service"],"time":"2010-05-01T12:00:00Z"}
+
+{"path":["net"],"time":"2010-05-01T12:05:00Z"}
+`
+	src := NewJSONLSource(strings.NewReader(in))
+	r1, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Key() != hierarchy.KeyOf([]string{"tv", "no-service"}) {
+		t.Fatalf("key = %v", r1.Key())
+	}
+	r2, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Path[0] != "net" {
+		t.Fatalf("second = %v", r2.Path)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestJSONLSourceBadLine(t *testing.T) {
+	src := NewJSONLSource(strings.NewReader("{not json}\n"))
+	if _, err := src.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want parse error", err)
+	}
+}
+
+func TestCSVishSourceRoundTrip(t *testing.T) {
+	r := rec(30*time.Second, "v1", "io2", "co3")
+	line := MarshalCSVish(r)
+	src := NewCSVishSource(strings.NewReader("# comment\n" + line + "\n"))
+	got, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != r.Key() || !got.Time.Equal(r.Time) {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestCSVishSourceErrors(t *testing.T) {
+	if _, err := NewCSVishSource(strings.NewReader("nocomma\n")).Next(); err == nil {
+		t.Fatal("missing comma must error")
+	}
+	if _, err := NewCSVishSource(strings.NewReader("notatime,a/b\n")).Next(); err == nil {
+		t.Fatal("bad time must error")
+	}
+}
+
+func TestWindowerValidation(t *testing.T) {
+	if _, err := NewWindower(0); err == nil {
+		t.Fatal("delta=0 must be rejected")
+	}
+}
+
+func TestWindowerGroupsByDelta(t *testing.T) {
+	w, err := NewWindower(15 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Delta() != 15*time.Minute {
+		t.Fatal("Delta accessor wrong")
+	}
+	// Three records in unit 0, one in unit 1.
+	for _, r := range []Record{
+		rec(1*time.Minute, "a"),
+		rec(5*time.Minute, "a"),
+		rec(14*time.Minute, "b"),
+	} {
+		done, err := w.Observe(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(done) != 0 {
+			t.Fatalf("no unit should complete yet, got %d", len(done))
+		}
+	}
+	done, err := w.Observe(rec(16*time.Minute, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("completed units = %d, want 1", len(done))
+	}
+	u := done[0]
+	if u[hierarchy.KeyOf([]string{"a"})] != 2 || u[hierarchy.KeyOf([]string{"b"})] != 1 {
+		t.Fatalf("unit counts = %v", u)
+	}
+	last := w.Flush()
+	if last[hierarchy.KeyOf([]string{"a"})] != 1 {
+		t.Fatalf("flushed unit = %v", last)
+	}
+}
+
+func TestWindowerEmitsEmptyGapUnits(t *testing.T) {
+	w, err := NewWindower(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(rec(0, "a")); err != nil {
+		t.Fatal(err)
+	}
+	// Jump 35 minutes: units 0,1,2 complete; 1 and 2 are empty.
+	done, err := w.Observe(rec(35*time.Minute, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 {
+		t.Fatalf("completed units = %d, want 3", len(done))
+	}
+	if len(done[1]) != 0 || len(done[2]) != 0 {
+		t.Fatalf("gap units must be empty: %v", done)
+	}
+}
+
+func TestWindowerRejectsOutOfOrder(t *testing.T) {
+	w, err := NewWindower(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(rec(20*time.Minute, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(rec(5*time.Minute, "b")); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	// Same-unit earlier timestamps are fine (floor is the unit start).
+	if _, err := w.Observe(rec(21*time.Minute, "c")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowerAlignsToDeltaBoundary(t *testing.T) {
+	w, err := NewWindower(15 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(rec(7*time.Minute, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Start().Equal(t0()) {
+		t.Fatalf("Start = %v, want %v (truncated)", w.Start(), t0())
+	}
+}
+
+func TestCollect(t *testing.T) {
+	src := NewSliceSource([]Record{
+		rec(1*time.Minute, "a"),
+		rec(16*time.Minute, "a"),
+		rec(17*time.Minute, "b"),
+		rec(31*time.Minute, "a"),
+	})
+	units, first, err := Collect(src, 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(t0()) {
+		t.Fatalf("first = %v, want %v", first, t0())
+	}
+	if len(units) != 3 {
+		t.Fatalf("units = %d, want 3", len(units))
+	}
+	if units[0].Total() != 1 || units[1].Total() != 2 || units[2].Total() != 1 {
+		t.Fatalf("unit totals = %v %v %v", units[0].Total(), units[1].Total(), units[2].Total())
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	units, _, err := Collect(NewSliceSource(nil), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 0 {
+		t.Fatalf("units = %d, want 0", len(units))
+	}
+}
