@@ -1,4 +1,4 @@
-// Package tiresias_bench holds the repository-level benchmarks: one
+// Package tiresias_test holds the repository-level benchmarks: one
 // testing.B benchmark per table and figure of the paper, each driving
 // the same experiment code as cmd/tiresias-bench, plus micro-
 // benchmarks for the hot paths (per-timeunit engine steps and the
@@ -7,7 +7,7 @@
 // Run everything with:
 //
 //	go test -bench=. -benchmem
-package tiresias_bench
+package tiresias_test
 
 import (
 	"testing"

@@ -1,22 +1,33 @@
-// Command tiresias-serve exposes a stored anomaly database over HTTP —
-// the reproduction's stand-in for the paper's JavaScript/SQL front-end
-// (Fig. 3(f)).
+// Command tiresias-serve exposes anomaly detection over HTTP: the
+// stored-anomaly dashboard of the paper's front-end (Fig. 3(f)) plus a
+// live multi-stream ingest API backed by a sharded tiresias.Manager.
 //
 // Usage:
 //
-//	tiresias-serve -store anomalies.json -addr :8080
+//	tiresias-serve -store anomalies.json -addr :8080 -window 96 -delta 15m
 //	curl 'localhost:8080/anomalies?under=vho1&from=0&limit=20'
 //	curl 'localhost:8080/stats'
+//	curl -X POST localhost:8080/v1/records -d '{"stream":"ccd","path":["vho1","io2"],"time":"2010-09-14T08:00:00Z"}'
+//	curl 'localhost:8080/v1/streams'
+//
+// POST /v1/records accepts one record or a JSON array of records; each
+// carries an optional "stream" name (default "default"). Detected
+// anomalies are returned in the response and appended to the store, so
+// they immediately appear on the dashboard and /anomalies queries.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
 
-	"tiresias/internal/report"
+	"tiresias"
 )
 
 func main() {
@@ -32,18 +43,26 @@ func main() {
 	}
 }
 
-// buildServer parses flags, loads the store, and returns the
-// configured (unstarted) server plus the number of loaded anomalies.
+// buildServer parses flags, loads the store, wires the live-ingest
+// Manager, and returns the configured (unstarted) server plus the
+// number of loaded anomalies.
 func buildServer(args []string) (*http.Server, int, error) {
 	fs := flag.NewFlagSet("tiresias-serve", flag.ContinueOnError)
 	var (
 		storePath = fs.String("store", "", "anomaly JSON produced by cmd/tiresias -store")
 		addr      = fs.String("addr", ":8080", "listen address")
+		delta     = fs.Duration("delta", 15*time.Minute, "live ingest: timeunit size Δ")
+		window    = fs.Int("window", 672, "live ingest: sliding window length ℓ")
+		theta     = fs.Float64("theta", 10, "live ingest: heavy-hitter threshold θ")
+		rt        = fs.Float64("rt", 2.8, "live ingest: relative threshold RT")
+		dt        = fs.Float64("dt", 8, "live ingest: absolute threshold DT")
+		shards    = fs.Int("shards", 16, "live ingest: manager lock shards")
+		maxGap    = fs.Int("max-gap", tiresias.DefaultMaxGap, "live ingest: max timeunits one record may gap-fill (<=0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 0, err
 	}
-	st := report.NewStore()
+	st := tiresias.NewStore()
 	if *storePath != "" {
 		f, err := os.Open(*storePath)
 		if err != nil {
@@ -55,11 +74,138 @@ func buildServer(args []string) (*http.Server, int, error) {
 			return nil, 0, err
 		}
 	}
+	// Every live stream's detector feeds the same store, so live
+	// detections surface on the dashboard alongside loaded history.
+	liveOpts := []tiresias.Option{
+		tiresias.WithDelta(*delta),
+		tiresias.WithWindowLen(*window),
+		tiresias.WithTheta(*theta),
+		tiresias.WithThresholds(tiresias.Thresholds{RT: *rt, DT: *dt}),
+		tiresias.WithSink(tiresias.NewStoreSink(st)),
+	}
+	// The Manager builds detectors lazily on first Feed; probe the
+	// configuration now so bad flags fail at startup, not mid-ingest.
+	if _, err := tiresias.New(liveOpts...); err != nil {
+		return nil, 0, err
+	}
+	mgr, err := tiresias.NewManager(
+		tiresias.WithShards(*shards),
+		tiresias.WithMaxGap(*maxGap),
+		tiresias.WithDetectorOptions(liveOpts...),
+	)
+	if err != nil {
+		return nil, 0, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/records", ingestHandler(mgr))
+	mux.HandleFunc("GET /v1/streams", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mgr.Streams())
+	})
+	// The dashboard handler serves the HTML report at "/" and keeps
+	// the JSON API at /anomalies and /stats.
+	mux.Handle("/", st.DashboardHandler())
 	return &http.Server{
-		Addr: *addr,
-		// The dashboard handler serves the HTML report at "/" and
-		// keeps the JSON API at /anomalies and /stats.
-		Handler:           st.DashboardHandler(),
+		Addr:              *addr,
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}, st.Len(), nil
+}
+
+// ingestRecord is the POST /v1/records wire format: a stream.Record
+// plus the target stream name.
+type ingestRecord struct {
+	Stream string    `json:"stream"`
+	Path   []string  `json:"path"`
+	Time   time.Time `json:"time"`
+}
+
+// ingestResponse summarizes one ingest call.
+type ingestResponse struct {
+	Accepted  int                `json:"accepted"`
+	Anomalies []tiresias.Anomaly `json:"anomalies"`
+}
+
+const maxIngestBody = 8 << 20 // 8 MiB per request
+
+// ingestHandler feeds posted records into the Manager and returns any
+// anomalies their completed timeunits produced.
+func ingestHandler(mgr *tiresias.Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		recs, err := decodeRecords(r.Body)
+		if errors.Is(err, errBodyTooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Validate the whole batch before feeding anything, so a 400
+		// for a malformed record has no side effects and the client
+		// can safely fix and re-post the batch.
+		for i, rec := range recs {
+			if len(rec.Path) == 0 {
+				http.Error(w, fmt.Sprintf("record %d: empty path (accepted 0)", i), http.StatusBadRequest)
+				return
+			}
+			if rec.Time.IsZero() {
+				http.Error(w, fmt.Sprintf("record %d: missing time (accepted 0)", i), http.StatusBadRequest)
+				return
+			}
+		}
+		resp := ingestResponse{Anomalies: []tiresias.Anomaly{}}
+		for _, rec := range recs {
+			name := rec.Stream
+			if name == "" {
+				name = "default"
+			}
+			anoms, err := mgr.Feed(name, tiresias.Record{Path: rec.Path, Time: rec.Time})
+			if err != nil {
+				// Out-of-order and gap errors depend on live stream
+				// state and can only surface mid-feed; report how far
+				// we got so the client can resume past the bad record.
+				http.Error(w, fmt.Sprintf("%v (accepted %d)", err, resp.Accepted), http.StatusBadRequest)
+				return
+			}
+			resp.Accepted++
+			resp.Anomalies = append(resp.Anomalies, anoms...)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// errBodyTooLarge marks an ingest body over maxIngestBody.
+var errBodyTooLarge = fmt.Errorf("request body exceeds %d bytes", maxIngestBody)
+
+// decodeRecords accepts either a single JSON record or a JSON array.
+func decodeRecords(body io.Reader) ([]ingestRecord, error) {
+	raw, err := io.ReadAll(io.LimitReader(body, maxIngestBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if len(raw) > maxIngestBody {
+		return nil, errBodyTooLarge
+	}
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty request body")
+	}
+	if trimmed[0] == '[' {
+		var recs []ingestRecord
+		if err := json.Unmarshal(trimmed, &recs); err != nil {
+			return nil, fmt.Errorf("bad record array: %w", err)
+		}
+		return recs, nil
+	}
+	var rec ingestRecord
+	if err := json.Unmarshal(trimmed, &rec); err != nil {
+		return nil, fmt.Errorf("bad record: %w", err)
+	}
+	return []ingestRecord{rec}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"tiresias/internal/detect"
 	"tiresias/internal/hierarchy"
@@ -71,5 +74,194 @@ func TestBuildServerEmpty(t *testing.T) {
 	}
 	if n != 0 || srv.Addr != ":8080" {
 		t.Fatalf("defaults: n=%d addr=%s", n, srv.Addr)
+	}
+}
+
+// postJSON posts body to the test server and decodes the response.
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestLiveIngestDetectsAndFeedsDashboard(t *testing.T) {
+	srv, _, err := buildServer([]string{
+		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	// Warm with 30 steady units (one record per minute), then burst.
+	var batch []map[string]any
+	for u := 0; u < 30; u++ {
+		batch = append(batch, map[string]any{
+			"stream": "ccd", "path": []string{"vho1", "io2"},
+			"time": base.Add(time.Duration(u) * time.Minute).Format(time.RFC3339),
+		})
+	}
+	burstAt := base.Add(30 * time.Minute)
+	for i := 0; i < 50; i++ {
+		batch = append(batch, map[string]any{
+			"stream": "ccd", "path": []string{"vho1", "io2"},
+			"time": burstAt.Format(time.RFC3339),
+		})
+	}
+	// A boundary-crossing record so the burst unit completes.
+	batch = append(batch, map[string]any{
+		"stream": "ccd", "path": []string{"vho1", "io2"},
+		"time": base.Add(31 * time.Minute).Format(time.RFC3339),
+	})
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Accepted  int               `json:"accepted"`
+		Anomalies []json.RawMessage `json:"anomalies"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/records", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("ingest status = %d", code)
+	}
+	if ing.Accepted != len(batch) {
+		t.Fatalf("accepted %d of %d records", ing.Accepted, len(batch))
+	}
+	if len(ing.Anomalies) == 0 {
+		t.Fatal("burst not flagged by live ingest")
+	}
+
+	// The stream shows up in /v1/streams, warm.
+	var streams []map[string]any
+	resp, err := http.Get(ts.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&streams)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 1 || streams[0]["name"] != "ccd" || streams[0]["warm"] != true {
+		t.Fatalf("/v1/streams = %+v", streams)
+	}
+
+	// Live detections also landed in the dashboard store.
+	resp, err = http.Get(ts.URL + "/anomalies?under=vho1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stored []detect.Anomaly
+	err = json.NewDecoder(resp.Body).Decode(&stored)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) == 0 {
+		t.Fatal("live anomalies not visible in the store API")
+	}
+}
+
+func TestLiveIngestSingleObjectAndErrors(t *testing.T) {
+	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	one := `{"path":["a","b"],"time":"2010-09-14T00:00:00Z"}`
+	if code := postJSON(t, ts.URL+"/v1/records", one, &ing); code != http.StatusOK {
+		t.Fatalf("single-object ingest status = %d", code)
+	}
+	if ing.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1 (default stream)", ing.Accepted)
+	}
+	// Malformed body, empty path, and out-of-order time are 400s.
+	for name, body := range map[string]string{
+		"garbage":      `{not json`,
+		"empty path":   `{"path":[],"time":"2010-09-14T00:00:00Z"}`,
+		"out of order": `{"path":["a"],"time":"2009-01-01T00:00:00Z"}`,
+	} {
+		if code := postJSON(t, ts.URL+"/v1/records", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", name, code)
+		}
+	}
+}
+
+func TestBuildServerBadLiveConfig(t *testing.T) {
+	if _, _, err := buildServer([]string{"-window", "1"}); err == nil {
+		t.Fatal("bad live window must fail buildServer")
+	}
+	if _, _, err := buildServer([]string{"-shards", "0"}); err == nil {
+		t.Fatal("zero shards must fail buildServer")
+	}
+}
+
+func TestLiveIngestRejectsMissingTime(t *testing.T) {
+	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	// A zero time would seed the stream clock at year 1 and let the
+	// next sane record gap-fill millions of units.
+	if code := postJSON(t, ts.URL+"/v1/records", `{"path":["a"]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("missing time: status = %d, want 400", code)
+	}
+}
+
+func TestLiveIngestOversizedBodyIs413(t *testing.T) {
+	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	big := "[" + strings.Repeat(" ", 9<<20) + "]"
+	if code := postJSON(t, ts.URL+"/v1/records", big, nil); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status = %d, want 413", code)
+	}
+}
+
+func TestLiveIngestBatchValidationHasNoSideEffects(t *testing.T) {
+	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	// A batch with a bad second record must not feed the first one.
+	bad := `[{"stream":"s","path":["a"],"time":"2010-09-14T00:00:00Z"},{"stream":"s","path":[]}]`
+	if code := postJSON(t, ts.URL+"/v1/records", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad batch: status = %d, want 400", code)
+	}
+	var streams []map[string]any
+	resp, err := http.Get(ts.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&streams)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 0 {
+		t.Fatalf("rejected batch mutated state: %+v", streams)
 	}
 }

@@ -8,46 +8,49 @@
 //	    -store anomalies.json
 //
 // Input is either the CSVish format of tiresias-gen ("time,path") or
-// JSON lines ({"path":[...],"time":"..."}) selected with -format.
+// JSON lines ({"path":[...],"time":"..."}) selected with -format. The
+// stream is processed incrementally (O(window) memory) and stops
+// cleanly on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"tiresias/internal/algo"
-	"tiresias/internal/core"
-	"tiresias/internal/detect"
-	"tiresias/internal/report"
-	"tiresias/internal/stream"
+	"tiresias"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tiresias:", err)
 		os.Exit(1)
 	}
 }
 
-func parseRule(s string) (algo.SplitRule, error) {
+func parseRule(s string) (tiresias.SplitRule, error) {
 	switch s {
 	case "uniform":
-		return algo.Uniform, nil
+		return tiresias.Uniform, nil
 	case "last-time-unit":
-		return algo.LastTimeUnit, nil
+		return tiresias.LastTimeUnit, nil
 	case "long-term-history":
-		return algo.LongTermHistory, nil
+		return tiresias.LongTermHistory, nil
 	case "ewma":
-		return algo.EWMARule, nil
+		return tiresias.EWMARule, nil
 	default:
 		return 0, fmt.Errorf("unknown split rule %q", s)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tiresias", flag.ContinueOnError)
 	var (
 		in      = fs.String("in", "-", "input file (- for stdin)")
@@ -61,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 		ruleSel = fs.String("rule", "long-term-history", "split rule: uniform | last-time-unit | long-term-history | ewma")
 		ref     = fs.Int("ref", 2, "reference time-series levels h")
 		storeTo = fs.String("store", "", "also write anomalies as JSON to this file")
+		jsonOut = fs.Bool("json", false, "stream anomalies as JSON lines instead of text")
 		quiet   = fs.Bool("quiet", false, "suppress per-anomaly lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,12 +80,12 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	var src stream.Source
+	var src tiresias.Source
 	switch *format {
 	case "csv":
-		src = stream.NewCSVishSource(r)
+		src = tiresias.NewCSVishSource(r)
 	case "jsonl":
-		src = stream.NewJSONLSource(r)
+		src = tiresias.NewJSONLSource(r)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
@@ -90,53 +94,84 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := []core.Option{
-		core.WithDelta(*delta),
-		core.WithWindowLen(*window),
-		core.WithTheta(*theta),
-		core.WithThresholds(detect.Thresholds{RT: *rt, DT: *dt}),
-		core.WithSplitRule(rule),
-		core.WithReferenceLevels(*ref),
+	opts := []tiresias.Option{
+		tiresias.WithDelta(*delta),
+		tiresias.WithWindowLen(*window),
+		tiresias.WithTheta(*theta),
+		tiresias.WithThresholds(tiresias.Thresholds{RT: *rt, DT: *dt}),
+		tiresias.WithSplitRule(rule),
+		tiresias.WithReferenceLevels(*ref),
 	}
 	switch *algoSel {
 	case "ada":
-		opts = append(opts, core.WithAlgorithm(core.AlgorithmADA))
+		opts = append(opts, tiresias.WithAlgorithm(tiresias.AlgorithmADA))
 	case "sta":
-		opts = append(opts, core.WithAlgorithm(core.AlgorithmSTA))
+		opts = append(opts, tiresias.WithAlgorithm(tiresias.AlgorithmSTA))
 	default:
 		return fmt.Errorf("unknown algo %q", *algoSel)
 	}
-	t, err := core.New(opts...)
-	if err != nil {
-		return err
-	}
-	res, err := t.Run(src)
-	if err != nil {
-		return err
-	}
-	if !*quiet {
-		for _, a := range res.Anomalies {
-			fmt.Fprintf(stdout, "anomaly instance=%d time=%s node=%s actual=%.1f forecast=%.1f\n",
-				a.Instance, a.Time.Format(time.RFC3339), a.Key, a.Actual, a.Forecast)
-		}
-	}
-	fmt.Fprintf(stdout, "processed %d timeunits; %d anomalies; %d heavy hitters; stage times: update=%v series=%v detect=%v\n",
-		res.Units, len(res.Anomalies), res.HeavyHitterCount,
-		res.Timings.UpdatingHierarchies.Round(time.Millisecond),
-		res.Timings.CreatingTimeSeries.Round(time.Millisecond),
-		res.Timings.DetectingAnomalies.Round(time.Millisecond))
 
+	// Anomalies stream out through sinks as units complete, instead of
+	// accumulating in the result. The store (and its memory footprint)
+	// exists only when the run must persist to -store.
+	var st *tiresias.Store
+	var jsonSink *tiresias.JSONSink
 	if *storeTo != "" {
-		st := report.NewStore()
-		st.Add(res.Anomalies...)
-		f, err := os.Create(*storeTo)
-		if err != nil {
-			return err
+		st = tiresias.NewStore()
+		opts = append(opts, tiresias.WithSink(tiresias.NewStoreSink(st)))
+	}
+	if *jsonOut {
+		jsonSink = tiresias.NewJSONSink(stdout)
+		opts = append(opts, tiresias.WithSink(jsonSink))
+	} else if !*quiet {
+		opts = append(opts, tiresias.WithSink(tiresias.SinkFuncs{
+			Anomaly: func(a tiresias.Anomaly) {
+				fmt.Fprintf(stdout, "anomaly instance=%d time=%s node=%s actual=%.1f forecast=%.1f\n",
+					a.Instance, a.Time.Format(time.RFC3339), a.Key, a.Actual, a.Forecast)
+			},
+		}))
+	} else if st == nil {
+		// -quiet with no other output: a no-op sink keeps Run from
+		// accumulating anomalies it would never print (bounded memory
+		// on long streams; the summary only needs AnomalyCount).
+		opts = append(opts, tiresias.WithSink(tiresias.SinkFuncs{}))
+	}
+
+	t, err := tiresias.New(opts...)
+	if err != nil {
+		return err
+	}
+	// An interrupted or failed run still returns the partial result:
+	// report and persist what was detected before surfacing the error,
+	// so hours of streaming are not lost to a Ctrl-C.
+	res, runErr := t.Run(ctx, src)
+	if res != nil {
+		summaryTo := stdout
+		if jsonSink != nil {
+			// Keep stdout pure JSON lines for downstream consumers.
+			summaryTo = os.Stderr
 		}
-		defer f.Close()
-		if err := st.Save(f); err != nil {
-			return err
+		fmt.Fprintf(summaryTo, "processed %d timeunits; %d anomalies; %d heavy hitters; stage times: update=%v series=%v detect=%v\n",
+			res.Units, res.AnomalyCount, res.HeavyHitterCount,
+			res.Timings.UpdatingHierarchies.Round(time.Millisecond),
+			res.Timings.CreatingTimeSeries.Round(time.Millisecond),
+			res.Timings.DetectingAnomalies.Round(time.Millisecond))
+		if *storeTo != "" {
+			f, err := os.Create(*storeTo)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := st.Save(f); err != nil {
+				return err
+			}
 		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if jsonSink != nil {
+		return jsonSink.Err()
 	}
 	return nil
 }

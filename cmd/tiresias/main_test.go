@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -50,7 +51,7 @@ func TestRunDetectsAndStores(t *testing.T) {
 	path := writeDataset(t)
 	storePath := filepath.Join(t.TempDir(), "anoms.json")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-in", path, "-window", "48", "-theta", "4",
 		"-rt", "2.5", "-dt", "8", "-store", storePath,
 	}, &out)
@@ -79,7 +80,7 @@ func TestRunDetectsAndStores(t *testing.T) {
 func TestRunSTAEngine(t *testing.T) {
 	path := writeDataset(t)
 	var out bytes.Buffer
-	err := run([]string{"-in", path, "-window", "48", "-theta", "4", "-algo", "sta", "-quiet"}, &out)
+	err := run(context.Background(), []string{"-in", path, "-window", "48", "-theta", "4", "-algo", "sta", "-quiet"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestRunErrors(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(tt.args, &out); err == nil {
+			if err := run(context.Background(), tt.args, &out); err == nil {
 				t.Fatal("run must fail")
 			}
 		})
@@ -142,7 +143,25 @@ func TestRunJSONLInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-format", "jsonl", "-window", "2", "-theta", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-format", "jsonl", "-window", "2", "-theta", "1"}, &out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCanceledStillReportsPartialResults(t *testing.T) {
+	path := writeDataset(t)
+	storePath := filepath.Join(t.TempDir(), "partial.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the run starts: the extreme partial case
+	var out bytes.Buffer
+	err := run(ctx, []string{"-in", path, "-window", "48", "-theta", "4", "-store", storePath}, &out)
+	if err == nil {
+		t.Fatal("canceled run must surface the context error")
+	}
+	if !strings.Contains(out.String(), "processed ") {
+		t.Fatalf("canceled run must still print the summary:\n%s", out.String())
+	}
+	if _, statErr := os.Stat(storePath); statErr != nil {
+		t.Fatalf("canceled run must still write -store: %v", statErr)
 	}
 }

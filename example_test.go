@@ -1,32 +1,29 @@
-package core_test
+package tiresias_test
 
 import (
 	"fmt"
 	"time"
 
-	"tiresias/internal/algo"
-	"tiresias/internal/core"
-	"tiresias/internal/detect"
-	"tiresias/internal/hierarchy"
+	"tiresias"
 )
 
 // Example shows the minimal online loop: warm up with history, then
 // feed timeunits one at a time and collect anomalies.
 func Example() {
-	key := func(parts ...string) hierarchy.Key { return hierarchy.KeyOf(parts) }
+	key := func(parts ...string) tiresias.Key { return tiresias.KeyOf(parts) }
 
 	// Steady history: region "west" handles 10 calls per timeunit.
-	history := make([]algo.Timeunit, 16)
+	history := make([]tiresias.Timeunit, 16)
 	for i := range history {
-		history[i] = algo.Timeunit{key("west", "sf"): 6, key("west", "la"): 4}
+		history[i] = tiresias.Timeunit{key("west", "sf"): 6, key("west", "la"): 4}
 	}
 
-	t, err := core.New(
-		core.WithDelta(15*time.Minute),
-		core.WithWindowLen(16),
-		core.WithTheta(5),
-		core.WithSeasonality(1.0, 4),
-		core.WithThresholds(detect.Thresholds{RT: 2.0, DT: 5}),
+	t, err := tiresias.New(
+		tiresias.WithDelta(15*time.Minute),
+		tiresias.WithWindowLen(16),
+		tiresias.WithTheta(5),
+		tiresias.WithSeasonality(1.0, 4),
+		tiresias.WithThresholds(tiresias.Thresholds{RT: 2.0, DT: 5}),
 	)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -39,9 +36,9 @@ func Example() {
 	}
 
 	// A quiet unit, then an outage burst in SF.
-	quiet := algo.Timeunit{key("west", "sf"): 6, key("west", "la"): 4}
-	burst := algo.Timeunit{key("west", "sf"): 60, key("west", "la"): 4}
-	for _, u := range []algo.Timeunit{quiet, burst} {
+	quiet := tiresias.Timeunit{key("west", "sf"): 6, key("west", "la"): 4}
+	burst := tiresias.Timeunit{key("west", "sf"): 60, key("west", "la"): 4}
+	for _, u := range []tiresias.Timeunit{quiet, burst} {
 		res, err := t.ProcessUnit(u)
 		if err != nil {
 			fmt.Println("error:", err)

@@ -13,13 +13,11 @@ import (
 	"log"
 	"time"
 
-	"tiresias/internal/algo"
-	"tiresias/internal/core"
-	"tiresias/internal/detect"
+	"tiresias"
+
 	"tiresias/internal/gen"
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/refmethod"
-	"tiresias/internal/stream"
 )
 
 func main() {
@@ -59,25 +57,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	units, start, err := stream.Collect(stream.NewSliceSource(ds.Records), delta)
+	units, start, err := tiresias.Collect(tiresias.NewSliceSource(ds.Records), delta)
 	if err != nil {
 		return err
 	}
 	for len(units) < cfg.Units {
-		units = append(units, algo.Timeunit{})
+		units = append(units, tiresias.Timeunit{})
 	}
 	fmt.Printf("call-center stream: %d calls, %d hourly units, 3 injected incidents\n\n",
 		len(ds.Records), len(units))
 
 	// --- Tiresias (ADA, dual seasonality day+week). ---
-	t, err := core.New(
-		core.WithDelta(delta),
-		core.WithWindowLen(warm),
-		core.WithTheta(12),
-		core.WithSeasonality(0.76, unitsPerDay, 7*unitsPerDay),
-		core.WithSplitRule(algo.LongTermHistory),
-		core.WithReferenceLevels(2),
-		core.WithThresholds(detect.Thresholds{RT: 2.2, DT: 20}),
+	t, err := tiresias.New(
+		tiresias.WithDelta(delta),
+		tiresias.WithWindowLen(warm),
+		tiresias.WithTheta(12),
+		tiresias.WithSeasonality(0.76, unitsPerDay, 7*unitsPerDay),
+		tiresias.WithSplitRule(tiresias.LongTermHistory),
+		tiresias.WithReferenceLevels(2),
+		tiresias.WithThresholds(tiresias.Thresholds{RT: 2.2, DT: 20}),
 	)
 	if err != nil {
 		return err
@@ -85,7 +83,7 @@ func run() error {
 	if err := t.Warmup(units[:warm], start); err != nil {
 		return err
 	}
-	var tiresiasAnoms []detect.Anomaly
+	var tiresiasAnoms []tiresias.Anomaly
 	for _, u := range units[warm:] {
 		sr, err := t.ProcessUnit(u)
 		if err != nil {
@@ -130,7 +128,7 @@ type event struct {
 	instance int
 }
 
-func eventTimes(as []detect.Anomaly) []event {
+func eventTimes(as []tiresias.Anomaly) []event {
 	out := make([]event, 0, len(as))
 	for _, a := range as {
 		out = append(out, event{key: a.Key, instance: a.Instance})

@@ -14,8 +14,8 @@ import (
 	"math/rand"
 	"time"
 
-	"tiresias/internal/core"
-	"tiresias/internal/detect"
+	"tiresias"
+
 	"tiresias/internal/multidim"
 )
 
@@ -55,13 +55,13 @@ func run() error {
 		return out
 	}
 
-	opts := func() []core.Option {
-		return []core.Option{
-			core.WithDelta(delta),
-			core.WithWindowLen(warm),
-			core.WithTheta(5),
-			core.WithSeasonality(1.0, 96),
-			core.WithThresholds(detect.Thresholds{RT: 2.2, DT: 10}),
+	opts := func() []tiresias.Option {
+		return []tiresias.Option{
+			tiresias.WithDelta(delta),
+			tiresias.WithWindowLen(warm),
+			tiresias.WithTheta(5),
+			tiresias.WithSeasonality(1.0, 96),
+			tiresias.WithThresholds(tiresias.Thresholds{RT: 2.2, DT: 10}),
 		}
 	}
 	runner, err := multidim.New([]multidim.Dimension{

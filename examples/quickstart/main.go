@@ -6,14 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"tiresias/internal/core"
-	"tiresias/internal/detect"
+	"tiresias"
+
 	"tiresias/internal/gen"
-	"tiresias/internal/stream"
 )
 
 func main() {
@@ -52,17 +52,17 @@ func run() error {
 	fmt.Printf("generated %d records over %d timeunits (spike at region1, units %d-%d)\n",
 		len(ds.Records), cfg.Units, warmUnits+20, warmUnits+24)
 
-	t, err := core.New(
-		core.WithDelta(15*time.Minute),
-		core.WithWindowLen(warmUnits),
-		core.WithTheta(5),
-		core.WithSeasonality(1.0, 96), // one daily season
-		core.WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
+	t, err := tiresias.New(
+		tiresias.WithDelta(15*time.Minute),
+		tiresias.WithWindowLen(warmUnits),
+		tiresias.WithTheta(5),
+		tiresias.WithSeasonality(1.0, 96), // one daily season
+		tiresias.WithThresholds(tiresias.Thresholds{RT: 2.5, DT: 10}),
 	)
 	if err != nil {
 		return err
 	}
-	res, err := t.Run(stream.NewSliceSource(ds.Records))
+	res, err := t.Run(context.Background(), tiresias.NewSliceSource(ds.Records))
 	if err != nil {
 		return err
 	}

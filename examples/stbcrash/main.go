@@ -14,10 +14,11 @@ import (
 	"math"
 	"time"
 
+	"tiresias"
+
 	"tiresias/internal/algo"
 	"tiresias/internal/detect"
 	"tiresias/internal/gen"
-	"tiresias/internal/stream"
 )
 
 func main() {
@@ -53,12 +54,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	units, _, err := stream.Collect(stream.NewSliceSource(ds.Records), delta)
+	units, _, err := tiresias.Collect(tiresias.NewSliceSource(ds.Records), delta)
 	if err != nil {
 		return err
 	}
 	for len(units) < cfg.Units {
-		units = append(units, algo.Timeunit{})
+		units = append(units, tiresias.Timeunit{})
 	}
 	fmt.Printf("STB crash log: %d crash events, hierarchy of %d leaves\n",
 		len(ds.Records), cfg.Shape.NumLeaves())

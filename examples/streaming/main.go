@@ -1,8 +1,11 @@
-// Streaming demonstrates the fully online deployment (Steps 1–6 of
-// Fig. 3): records arrive on a live feed, a Windower classifies them
-// into timeunits, each completed unit is processed incrementally, and
-// detected anomalies land in a report store served over HTTP while the
-// detector keeps running.
+// Streaming demonstrates the fully online v2 deployment (Steps 1–6 of
+// Fig. 3) in one call: Run ingests the record feed incrementally —
+// warming itself on the first window of timeunits, then screening
+// every further unit the moment it completes — while sinks stream the
+// detections out. Here one sink appends to a report store served over
+// HTTP (the operator dashboard) and another logs live; the whole
+// pipeline holds O(window) timeunits in memory no matter how long the
+// feed runs.
 //
 //	go run ./examples/streaming
 //
@@ -11,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -18,11 +22,9 @@ import (
 	"net/http"
 	"time"
 
-	"tiresias/internal/core"
-	"tiresias/internal/detect"
+	"tiresias"
+
 	"tiresias/internal/gen"
-	"tiresias/internal/report"
-	"tiresias/internal/stream"
 )
 
 func main() {
@@ -56,38 +58,9 @@ func run() error {
 		return err
 	}
 
-	// Split the feed: history for warmup, the rest arrives "live".
-	cut := cfg.Start.Add(time.Duration(warm) * delta)
-	var history, liveFeed []stream.Record
-	for _, r := range ds.Records {
-		if r.Time.Before(cut) {
-			history = append(history, r)
-		} else {
-			liveFeed = append(liveFeed, r)
-		}
-	}
-	histUnits, startTime, err := stream.Collect(stream.NewSliceSource(history), delta)
-	if err != nil {
-		return err
-	}
-
-	t, err := core.New(
-		core.WithDelta(delta),
-		core.WithWindowLen(len(histUnits)),
-		core.WithTheta(6),
-		core.WithSeasonality(1.0, 96),
-		core.WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
-	)
-	if err != nil {
-		return err
-	}
-	if err := t.Warmup(histUnits, startTime); err != nil {
-		return err
-	}
-	fmt.Printf("warm: %d units of history, %d heavy hitters\n", len(histUnits), len(t.HeavyHitters()))
-
-	// Report store + HTTP front end on an ephemeral port.
-	store := report.NewStore()
+	// Report store + HTTP front end on an ephemeral port, live while
+	// the detector is still consuming the feed.
+	store := tiresias.NewStore()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -99,48 +72,48 @@ func run() error {
 		_ = srv.Serve(ln) // closed at shutdown below
 	}()
 
-	// Live loop: feed records through the Windower; every completed
-	// timeunit is processed immediately (Step 6).
-	w, err := stream.NewWindower(delta)
+	// Two sinks: the store behind the HTTP API, and a live logger.
+	logSink := tiresias.SinkFuncs{
+		Anomaly: func(a tiresias.Anomaly) {
+			fmt.Printf("  live unit %2d: anomaly at %s (%.0f vs %.1f)\n",
+				a.Instance, a.Key, a.Actual, a.Forecast)
+		},
+	}
+	t, err := tiresias.New(
+		tiresias.WithDelta(delta),
+		tiresias.WithWindowLen(warm),
+		tiresias.WithTheta(6),
+		tiresias.WithSeasonality(1.0, 96),
+		tiresias.WithThresholds(tiresias.Thresholds{RT: 2.5, DT: 10}),
+		tiresias.WithSink(tiresias.NewStoreSink(store)),
+		tiresias.WithSink(logSink),
+	)
 	if err != nil {
 		return err
 	}
-	processed := 0
-	for _, r := range liveFeed {
-		doneUnits, err := w.Observe(r)
-		if err != nil {
-			return err
-		}
-		for _, u := range doneUnits {
-			sr, err := t.ProcessUnit(u)
-			if err != nil {
-				return err
-			}
-			store.Add(sr.Anomalies...)
-			processed++
-			for _, a := range sr.Anomalies {
-				fmt.Printf("  live unit %2d: anomaly at %s (%.0f vs %.1f)\n",
-					processed, a.Key, a.Actual, a.Forecast)
-			}
-		}
+
+	// One call: the first `warm` completed units warm the detector,
+	// every later unit is screened as it completes, anomalies stream
+	// to the sinks. Cancel the context to stop a real endless feed.
+	res, err := t.Run(context.Background(), tiresias.NewSliceSource(ds.Records))
+	if err != nil {
+		return err
 	}
-	if sr, err := t.ProcessUnit(w.Flush()); err == nil {
-		store.Add(sr.Anomalies...)
-		processed++
-	}
+	fmt.Printf("\nprocessed %d live units (%d heavy hitters, %d anomalies)\n",
+		res.Units, res.HeavyHitterCount, res.AnomalyCount)
 
 	// Query our own front-end the way an operator would.
 	resp, err := http.Get("http://" + ln.Addr().String() + baseURL)
 	if err != nil {
 		return err
 	}
-	var fetched []detect.Anomaly
+	var fetched []tiresias.Anomaly
 	err = json.NewDecoder(resp.Body).Decode(&fetched)
 	resp.Body.Close()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nprocessed %d live units; HTTP query returned %d anomalies\n", processed, len(fetched))
+	fmt.Printf("HTTP query returned %d anomalies\n", len(fetched))
 	if err := srv.Close(); err != nil {
 		return err
 	}

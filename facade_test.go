@@ -1,15 +1,13 @@
-package core
+package tiresias
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
 
-	"tiresias/internal/algo"
-	"tiresias/internal/detect"
 	"tiresias/internal/gen"
 	"tiresias/internal/hierarchy"
-	"tiresias/internal/stream"
 )
 
 func start() time.Time { return time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC) }
@@ -23,7 +21,9 @@ func TestNewValidation(t *testing.T) {
 		{name: "bad window", opts: []Option{WithWindowLen(1)}},
 		{name: "too many periods", opts: []Option{WithSeasonality(0.5, 2, 3, 4)}},
 		{name: "bad period", opts: []Option{WithSeasonality(0.5, 0)}},
-		{name: "bad thresholds", opts: []Option{WithThresholds(detect.Thresholds{})}},
+		{name: "bad thresholds", opts: []Option{WithThresholds(Thresholds{})}},
+		{name: "zero algorithm", opts: []Option{WithAlgorithm(Algorithm(0))}},
+		{name: "unknown algorithm", opts: []Option{WithAlgorithm(Algorithm(7))}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -48,18 +48,18 @@ func TestLifecycleGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.ProcessUnit(algo.Timeunit{}); !errors.Is(err, ErrNotWarm) {
+	if _, err := tr.ProcessUnit(Timeunit{}); !errors.Is(err, ErrNotWarm) {
 		t.Fatalf("ProcessUnit before Warmup = %v, want ErrNotWarm", err)
 	}
-	units := make([]algo.Timeunit, 8)
+	units := make([]Timeunit, 8)
 	for i := range units {
-		units[i] = algo.Timeunit{hierarchy.KeyOf([]string{"a"}): 5}
+		units[i] = Timeunit{hierarchy.KeyOf([]string{"a"}): 5}
 	}
 	if err := tr.Warmup(units, start()); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Warmup(units, start()); err == nil {
-		t.Fatal("second Warmup must fail")
+	if err := tr.Warmup(units, start()); !errors.Is(err, ErrWarm) {
+		t.Fatalf("second Warmup = %v, want ErrWarm", err)
 	}
 	if tr.Delta() != 15*time.Minute {
 		t.Fatal("default Delta wrong")
@@ -69,6 +69,44 @@ func TestLifecycleGuards(t *testing.T) {
 	}
 	if hh := tr.HeavyHitters(); len(hh) == 0 {
 		t.Fatal("warmup SHHH empty")
+	}
+}
+
+func TestResetAllowsRewarm(t *testing.T) {
+	tr, err := New(WithWindowLen(8), WithTheta(3), WithSeasonality(1.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := make([]Timeunit, 8)
+	for i := range units {
+		units[i] = Timeunit{hierarchy.KeyOf([]string{"a"}): 5}
+	}
+	if err := tr.Warmup(units, start()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ProcessUnit(units[0]); err != nil {
+		t.Fatal(err)
+	}
+	tr.Reset()
+	if tr.Warm() {
+		t.Fatal("Reset must clear warm state")
+	}
+	if tr.Engine() != nil {
+		t.Fatal("Reset must discard the engine")
+	}
+	if _, err := tr.ProcessUnit(units[0]); !errors.Is(err, ErrNotWarm) {
+		t.Fatalf("ProcessUnit after Reset = %v, want ErrNotWarm", err)
+	}
+	// Re-warm on fresh history and keep detecting.
+	if err := tr.Warmup(units, start().Add(24*time.Hour)); err != nil {
+		t.Fatalf("re-Warmup after Reset: %v", err)
+	}
+	sr, err := tr.ProcessUnit(Timeunit{hierarchy.KeyOf([]string{"a"}): 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Anomalies) == 0 {
+		t.Fatal("re-warmed detector missed an obvious spike")
 	}
 }
 
@@ -106,12 +144,12 @@ func TestRunDetectsInjectedAnomaly(t *testing.T) {
 		WithWindowLen(warm),
 		WithTheta(5),
 		WithSeasonality(1.0, 96), // daily season, known by construction
-		WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
+		WithThresholds(Thresholds{RT: 2.5, DT: 10}),
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tr.Run(stream.NewSliceSource(d.Records))
+	res, err := tr.Run(context.Background(), NewSliceSource(d.Records))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +158,9 @@ func TestRunDetectsInjectedAnomaly(t *testing.T) {
 	}
 	if len(res.Anomalies) == 0 {
 		t.Fatal("injected spike not detected")
+	}
+	if res.AnomalyCount != len(res.Anomalies) {
+		t.Fatalf("AnomalyCount = %d, len(Anomalies) = %d", res.AnomalyCount, len(res.Anomalies))
 	}
 	target := hierarchy.KeyOf([]string{"v1"})
 	found := false
@@ -145,7 +186,7 @@ func TestQuietStreamYieldsFewAnomalies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tr.Run(stream.NewSliceSource(d.Records))
+	res, err := tr.Run(context.Background(), NewSliceSource(d.Records))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +206,7 @@ func TestSTAandADAAgreeOnAnomalies(t *testing.T) {
 		ExtraPerUnit: 300,
 	}
 	d := genDataset(t, warm+20, []gen.AnomalySpec{spike})
-	run := func(a Algorithm) []detect.Anomaly {
+	run := func(a Algorithm) []Anomaly {
 		tr, err := New(
 			WithWindowLen(warm),
 			WithTheta(5),
@@ -176,7 +217,7 @@ func TestSTAandADAAgreeOnAnomalies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := tr.Run(stream.NewSliceSource(d.Records))
+		res, err := tr.Run(context.Background(), NewSliceSource(d.Records))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +227,7 @@ func TestSTAandADAAgreeOnAnomalies(t *testing.T) {
 	staAnoms := run(AlgorithmSTA)
 	// Both must flag the injected spike window under v2.
 	target := hierarchy.KeyOf([]string{"v2"})
-	check := func(name string, as []detect.Anomaly) {
+	check := func(name string, as []Anomaly) {
 		for _, a := range as {
 			if a.Instance >= 10 && a.Instance < 15 && target.IsAncestorOf(a.Key) {
 				return
@@ -215,7 +256,7 @@ func TestAutoSeasonalityPicksDailyPeriod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	units, first, err := stream.Collect(stream.NewSliceSource(d.Records), time.Hour)
+	units, first, err := Collect(NewSliceSource(d.Records), time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +281,52 @@ func TestRunEmptySource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Run(stream.NewSliceSource(nil)); err == nil {
+	if _, err := tr.Run(context.Background(), NewSliceSource(nil)); err == nil {
 		t.Fatal("empty source must fail")
+	}
+}
+
+func TestRunShortStreamStillWarms(t *testing.T) {
+	// Fewer units than the window: Run warms with what it has and
+	// screens nothing, like the old Collect-based batch path.
+	const warm = 96
+	d := genDataset(t, 10, nil)
+	tr, err := New(WithWindowLen(warm), WithTheta(5), WithSeasonality(1.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(context.Background(), NewSliceSource(d.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 0 {
+		t.Fatalf("short stream screened %d units, want 0", res.Units)
+	}
+	if !tr.Warm() {
+		t.Fatal("short stream must still warm the detector")
+	}
+}
+
+func TestShortWarmupKeepsClockHonest(t *testing.T) {
+	// Warm with fewer units than the configured window: processed
+	// units must be stamped from the actual history length, not ℓ.
+	tr, err := New(WithWindowLen(672), WithTheta(1), WithSeasonality(1.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := make([]Timeunit, 10)
+	for i := range units {
+		units[i] = Timeunit{hierarchy.KeyOf([]string{"a"}): 5}
+	}
+	if err := tr.Warmup(units, start()); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := tr.ProcessUnit(Timeunit{hierarchy.KeyOf([]string{"a"}): 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := start().Add(10 * 15 * time.Minute)
+	if !sr.UnitStart.Equal(want) {
+		t.Fatalf("UnitStart = %v, want %v (short warmup must not skew the clock)", sr.UnitStart, want)
 	}
 }

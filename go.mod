@@ -1,0 +1,3 @@
+module tiresias
+
+go 1.24

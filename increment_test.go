@@ -1,4 +1,4 @@
-package core
+package tiresias
 
 import (
 	"testing"
@@ -30,15 +30,15 @@ func TestWithIncrementRunsAtFineResolution(t *testing.T) {
 	if tr.Delta() != 15*time.Minute {
 		t.Fatalf("engine delta = %v, want 15m", tr.Delta())
 	}
-	units := make([]algo.Timeunit, 32)
+	units := make([]Timeunit, 32)
 	for i := range units {
-		units[i] = algo.Timeunit{hierarchy.KeyOf([]string{"a"}): 4}
+		units[i] = Timeunit{hierarchy.KeyOf([]string{"a"}): 4}
 	}
 	if err := tr.Warmup(units, time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if _, err := tr.ProcessUnit(algo.Timeunit{hierarchy.KeyOf([]string{"a"}): 4}); err != nil {
+		if _, err := tr.ProcessUnit(Timeunit{hierarchy.KeyOf([]string{"a"}): 4}); err != nil {
 			t.Fatal(err)
 		}
 	}

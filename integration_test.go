@@ -1,7 +1,8 @@
-package tiresias_bench
+package tiresias_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http/httptest"
@@ -9,8 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"tiresias"
+
 	"tiresias/internal/algo"
-	"tiresias/internal/core"
 	"tiresias/internal/detect"
 	"tiresias/internal/evalx"
 	"tiresias/internal/gen"
@@ -51,16 +53,16 @@ func TestPipelineGenToHTTP(t *testing.T) {
 	}
 	src := stream.NewCSVishSource(strings.NewReader(buf.String()))
 
-	tr, err := core.New(
-		core.WithWindowLen(warm),
-		core.WithTheta(6),
-		core.WithSeasonality(1.0, 96),
-		core.WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
+	tr, err := tiresias.New(
+		tiresias.WithWindowLen(warm),
+		tiresias.WithTheta(6),
+		tiresias.WithSeasonality(1.0, 96),
+		tiresias.WithThresholds(detect.Thresholds{RT: 2.5, DT: 10}),
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tr.Run(src)
+	res, err := tr.Run(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,8 +14,9 @@ import (
 	"fmt"
 	"time"
 
+	"tiresias"
+
 	"tiresias/internal/algo"
-	"tiresias/internal/core"
 	"tiresias/internal/detect"
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/stream"
@@ -36,13 +37,13 @@ type Dimension struct {
 	Name string
 	// Options configure that dimension's Tiresias instance; the
 	// runner adds nothing, so include window/threshold settings.
-	Options []core.Option
+	Options []tiresias.Option
 }
 
 // Runner steps one detector per dimension over a shared timeline.
 type Runner struct {
 	dims      []Dimension
-	detectors []*core.Tiresias
+	detectors []*tiresias.Tiresias
 	windowers []*stream.Windower
 	warm      bool
 }
@@ -56,7 +57,7 @@ func New(dims []Dimension) (*Runner, error) {
 	r := &Runner{dims: dims}
 	var delta time.Duration
 	for i, d := range dims {
-		t, err := core.New(d.Options...)
+		t, err := tiresias.New(d.Options...)
 		if err != nil {
 			return nil, fmt.Errorf("multidim: dimension %q: %w", d.Name, err)
 		}
@@ -150,7 +151,7 @@ func (inc Incident) CrossDimensional() bool {
 // caller-side windowing).
 func (r *Runner) ProcessUnit(units []algo.Timeunit) (*Incident, error) {
 	if !r.warm {
-		return nil, core.ErrNotWarm
+		return nil, tiresias.ErrNotWarm
 	}
 	if len(units) != len(r.dims) {
 		return nil, fmt.Errorf("multidim: %d units for %d dimensions", len(units), len(r.dims))

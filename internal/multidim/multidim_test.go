@@ -5,19 +5,20 @@ import (
 	"testing"
 	"time"
 
-	"tiresias/internal/core"
+	"tiresias"
+
 	"tiresias/internal/detect"
 )
 
 func start() time.Time { return time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC) }
 
-func dimOptions(window int) []core.Option {
-	return []core.Option{
-		core.WithDelta(15 * time.Minute),
-		core.WithWindowLen(window),
-		core.WithTheta(4),
-		core.WithSeasonality(1.0, 4),
-		core.WithThresholds(detect.Thresholds{RT: 2.0, DT: 8}),
+func dimOptions(window int) []tiresias.Option {
+	return []tiresias.Option{
+		tiresias.WithDelta(15 * time.Minute),
+		tiresias.WithWindowLen(window),
+		tiresias.WithTheta(4),
+		tiresias.WithSeasonality(1.0, 4),
+		tiresias.WithThresholds(detect.Thresholds{RT: 2.0, DT: 8}),
 	}
 }
 
@@ -58,13 +59,13 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Fatal("empty dimensions must fail")
 	}
-	if _, err := New([]Dimension{{Name: "x", Options: []core.Option{core.WithDelta(0)}}}); err == nil {
+	if _, err := New([]Dimension{{Name: "x", Options: []tiresias.Option{tiresias.WithDelta(0)}}}); err == nil {
 		t.Fatal("bad dimension options must fail")
 	}
 	// Mismatched deltas.
 	_, err := New([]Dimension{
-		{Name: "a", Options: []core.Option{core.WithDelta(15 * time.Minute)}},
-		{Name: "b", Options: []core.Option{core.WithDelta(time.Hour)}},
+		{Name: "a", Options: []tiresias.Option{tiresias.WithDelta(15 * time.Minute)}},
+		{Name: "b", Options: []tiresias.Option{tiresias.WithDelta(time.Hour)}},
 	})
 	if err == nil {
 		t.Fatal("mismatched deltas must fail")

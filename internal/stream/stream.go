@@ -165,6 +165,20 @@ func NewWindower(delta time.Duration) (*Windower, error) {
 	return &Windower{delta: delta, cur: algo.Timeunit{}}, nil
 }
 
+// NewWindowerAt creates a Windower pre-anchored at start, which must
+// be a timeunit boundary: records before start are out-of-order, and
+// a gap between start and the first record is filled with empty
+// units. Used to resume windowing at a known position mid-stream.
+func NewWindowerAt(delta time.Duration, start time.Time) (*Windower, error) {
+	w, err := NewWindower(delta)
+	if err != nil {
+		return nil, err
+	}
+	w.start = start
+	w.began = true
+	return w, nil
+}
+
 // Delta returns the timeunit size.
 func (w *Windower) Delta() time.Duration { return w.delta }
 

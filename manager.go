@@ -1,0 +1,254 @@
+package tiresias
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tiresias/internal/stream"
+)
+
+// Manager multiplexes many independent record streams, each with its
+// own Tiresias detector, behind one concurrent Feed hot path. Streams
+// are created lazily on first Feed and partitioned across shards by
+// name hash; each shard has its own mutex, so feeders of different
+// shards never contend. Manager is safe for concurrent use.
+type Manager struct {
+	shards  []managerShard
+	factory func(stream string) (*Tiresias, error)
+	maxGap  int
+}
+
+type managerShard struct {
+	mu      sync.Mutex
+	streams map[string]*managedStream
+}
+
+// managedStream is one tenant: a detector plus its windowing state.
+type managedStream struct {
+	det     *Tiresias
+	w       *stream.Windower
+	warmBuf []Timeunit
+	first   startClock
+	dirty   bool // current timeunit has records since the last Flush
+	units   int  // detection units processed
+	anoms   int  // anomalies detected
+}
+
+// managerOptions collects Manager configuration.
+type managerOptions struct {
+	shards  int
+	maxGap  int
+	factory func(stream string) (*Tiresias, error)
+}
+
+// DefaultMaxGap bounds how many timeunits a single record may
+// force-complete when it jumps past the current unit (gap filling
+// across quiet periods). It caps the work and allocation one
+// bad-timestamp record can trigger — important when Feed is wired to
+// an ingest endpoint.
+const DefaultMaxGap = 100_000
+
+// ManagerOption configures NewManager.
+type ManagerOption func(*managerOptions)
+
+// WithShards sets the number of lock shards (default 16). More shards
+// means less contention between concurrent feeders; the stream count
+// is not bounded by it.
+func WithShards(n int) ManagerOption {
+	return func(o *managerOptions) { o.shards = n }
+}
+
+// WithMaxGap overrides DefaultMaxGap, the per-record bound on
+// gap-filled timeunits; n <= 0 disables the bound (trusted feeds
+// only).
+func WithMaxGap(n int) ManagerOption {
+	return func(o *managerOptions) { o.maxGap = n }
+}
+
+// WithDetectorFactory supplies the constructor invoked for each new
+// stream name; use it when streams need heterogeneous configuration.
+func WithDetectorFactory(f func(stream string) (*Tiresias, error)) ManagerOption {
+	return func(o *managerOptions) { o.factory = f }
+}
+
+// WithDetectorOptions configures every stream's detector with the same
+// Option set — the common homogeneous-fleet case.
+func WithDetectorOptions(opts ...Option) ManagerOption {
+	return WithDetectorFactory(func(string) (*Tiresias, error) { return New(opts...) })
+}
+
+// NewManager builds an empty sharded Manager. Without a factory,
+// detectors use the package defaults.
+func NewManager(opts ...ManagerOption) (*Manager, error) {
+	o := managerOptions{shards: 16, maxGap: DefaultMaxGap}
+	for _, op := range opts {
+		op(&o)
+	}
+	if o.shards < 1 {
+		return nil, fmt.Errorf("tiresias: shards must be >= 1, got %d", o.shards)
+	}
+	if o.factory == nil {
+		o.factory = func(string) (*Tiresias, error) { return New() }
+	}
+	m := &Manager{shards: make([]managerShard, o.shards), factory: o.factory, maxGap: o.maxGap}
+	for i := range m.shards {
+		m.shards[i].streams = make(map[string]*managedStream)
+	}
+	return m, nil
+}
+
+// shardOf picks the shard by FNV-1a of the name, inlined so the Feed
+// hot path allocates nothing.
+func (m *Manager) shardOf(name string) *managerShard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return &m.shards[h%uint32(len(m.shards))]
+}
+
+// Feed ingests one record into the named stream, creating the stream's
+// detector on first use. Completed timeunits warm the detector until
+// its window is full and are screened afterwards; anomalies detected
+// by this call are returned (and delivered to the detector's sinks,
+// if configured). Records within one stream must arrive in time order;
+// different streams are fully independent.
+func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms, ok := sh.streams[streamName]
+	if !ok {
+		det, err := m.factory(streamName)
+		if err != nil {
+			return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+		}
+		w, err := stream.NewWindower(det.Delta())
+		if err != nil {
+			return nil, err
+		}
+		ms = &managedStream{det: det, w: w}
+		sh.streams[streamName] = ms
+	}
+	if m.maxGap > 0 && ms.first.seen {
+		if gap := r.Time.Sub(ms.w.Start()); gap > time.Duration(m.maxGap)*ms.det.Delta() {
+			return nil, fmt.Errorf("tiresias: stream %q: record at %v is more than %d timeunits past the current unit (%v)",
+				streamName, r.Time, m.maxGap, ms.w.Start())
+		}
+	}
+	done, err := ms.w.Observe(r)
+	if err != nil {
+		return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+	}
+	ms.first.observe(ms.w)
+	ms.dirty = true
+	var out []Anomaly
+	for _, u := range done {
+		anoms, err := ms.advance(u)
+		if err != nil {
+			return out, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+		}
+		out = append(out, anoms...)
+	}
+	return out, nil
+}
+
+// advance routes one completed unit of a managed stream.
+func (ms *managedStream) advance(u Timeunit) ([]Anomaly, error) {
+	sr, err := ms.det.ingestUnit(u, &ms.warmBuf, ms.first.at)
+	if err != nil || sr == nil {
+		return nil, err
+	}
+	ms.units++
+	ms.anoms += len(sr.Anomalies)
+	return sr.Anomalies, nil
+}
+
+// Flush completes the named stream's current partial timeunit and
+// screens it, returning any anomalies. Use it at stream end or on a
+// deadline when no boundary-crossing record will arrive. Flushing an
+// unknown stream, or one with no records since the last flush, is a
+// no-op — repeated deadline flushes never fabricate empty units. Note
+// that flushing finalizes the current unit: later records must be at
+// or past the next unit's start or they are rejected as out-of-order.
+func (m *Manager) Flush(streamName string) ([]Anomaly, error) {
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms, ok := sh.streams[streamName]
+	if !ok || !ms.first.seen || !ms.dirty {
+		return nil, nil
+	}
+	ms.dirty = false
+	anoms, err := ms.advance(ms.w.Flush())
+	if err != nil {
+		return anoms, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+	}
+	return anoms, nil
+}
+
+// Drop removes the named stream and its detector, reporting whether it
+// existed.
+func (m *Manager) Drop(streamName string) bool {
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.streams[streamName]
+	delete(sh.streams, streamName)
+	return ok
+}
+
+// Len returns the number of live streams.
+func (m *Manager) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.streams)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// StreamStatus is a point-in-time snapshot of one managed stream.
+type StreamStatus struct {
+	// Name is the stream name given to Feed.
+	Name string `json:"name"`
+	// Warm reports whether the detector finished warmup.
+	Warm bool `json:"warm"`
+	// Units is the number of detection timeunits processed.
+	Units int `json:"units"`
+	// Anomalies is the total number of detections so far.
+	Anomalies int `json:"anomalies"`
+	// PendingWarmup is the number of buffered warmup units (0 once
+	// warm).
+	PendingWarmup int `json:"pendingWarmup"`
+	// UnitStart is the start of the current (incomplete) timeunit.
+	UnitStart time.Time `json:"unitStart"`
+}
+
+// Streams snapshots every live stream, sorted by name.
+func (m *Manager) Streams() []StreamStatus {
+	var out []StreamStatus
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for name, ms := range sh.streams {
+			out = append(out, StreamStatus{
+				Name:          name,
+				Warm:          ms.det.Warm(),
+				Units:         ms.units,
+				Anomalies:     ms.anoms,
+				PendingWarmup: len(ms.warmBuf),
+				UnitStart:     ms.w.Start(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

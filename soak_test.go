@@ -1,4 +1,4 @@
-package tiresias_bench
+package tiresias_test
 
 import (
 	"os"

@@ -1,15 +1,21 @@
-// Package core is the public façade of the Tiresias reproduction: it
-// wires the full pipeline of Fig. 3 — windowing (Step 1), heavy-hitter
-// detection and time-series construction (Step 2), seasonality
-// analysis (Step 3), seasonal forecasting (Step 4), and anomaly
-// reporting (Steps 5–6) — behind a small API:
+// Package tiresias is the public API of the Tiresias reproduction: an
+// online anomaly detector over hierarchical operational data streams
+// (Hong et al., ICDCS 2012). It wires the full pipeline of Fig. 3 —
+// windowing (Step 1), heavy-hitter detection and time-series
+// construction (Step 2), seasonality analysis (Step 3), seasonal
+// forecasting (Step 4), and anomaly reporting (Steps 5–6) — behind a
+// small streaming-first surface:
 //
-//	t, err := core.New(core.WithTheta(10), core.WithDelta(15*time.Minute))
-//	result, err := t.Run(source)           // batch over a Source
-//	// or online:
+//	t, err := tiresias.New(tiresias.WithTheta(10), tiresias.WithDelta(15*time.Minute))
+//	result, err := t.Run(ctx, source)       // incremental: O(windowLen) memory
+//	// or online, one timeunit at a time:
 //	err = t.Warmup(historyUnits, start)
-//	anoms, err := t.ProcessUnit(unit)      // one timeunit at a time
-package core
+//	step, err := t.ProcessUnit(unit)
+//
+// Anomalies can be pushed to Sinks as they are found (WithSink), and a
+// sharded Manager multiplexes many independent streams behind one
+// Feed hot path.
+package tiresias
 
 import (
 	"errors"
@@ -20,7 +26,6 @@ import (
 	"tiresias/internal/detect"
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/seasonal"
-	"tiresias/internal/stream"
 )
 
 // Algorithm selects the Step-2 engine.
@@ -63,6 +68,7 @@ type options struct {
 	autoSeason    bool
 	seasonPeriods []int // explicit seasonal periods (timeunits), max 2
 	seasonXi      float64
+	sinks         []Sink
 }
 
 // Option configures New.
@@ -93,7 +99,7 @@ func WithTheta(theta float64) Option {
 
 // WithThresholds sets the Definition-4 sensitivity thresholds
 // (default RT=2.8, DT=8, the paper's operating point).
-func WithThresholds(th detect.Thresholds) Option {
+func WithThresholds(th Thresholds) Option {
 	return optionFunc(func(o *options) { o.thresholds = th })
 }
 
@@ -103,7 +109,7 @@ func WithAlgorithm(a Algorithm) Option {
 }
 
 // WithSplitRule selects ADA's split rule (default Long-Term-History).
-func WithSplitRule(r algo.SplitRule) Option {
+func WithSplitRule(r SplitRule) Option {
 	return optionFunc(func(o *options) { o.rule = r })
 }
 
@@ -154,7 +160,20 @@ func WithAutoSeasonality() Option {
 	return optionFunc(func(o *options) { o.autoSeason = true; o.seasonPeriods = nil })
 }
 
-func defaults() options {
+// WithSink registers a Sink to receive anomalies and per-unit events
+// as each timeunit is processed. May be given multiple times; sinks
+// are notified in registration order. When at least one sink is
+// registered, Run stops accumulating anomalies in RunResult (the sinks
+// are the delivery path), keeping long runs at bounded memory.
+func WithSink(s Sink) Option {
+	return optionFunc(func(o *options) {
+		if s != nil {
+			o.sinks = append(o.sinks, s)
+		}
+	})
+}
+
+func defaultOptions() options {
 	return options{
 		delta:      15 * time.Minute,
 		windowLen:  672,
@@ -173,14 +192,15 @@ func defaults() options {
 }
 
 // Tiresias is an online anomaly detector over hierarchical operational
-// data. It is not safe for concurrent use; wrap with a mutex or run
-// one instance per stream.
+// data. It is not safe for concurrent use; wrap with a mutex, use a
+// Manager, or run one instance per stream.
 type Tiresias struct {
 	opts     options
 	engine   algo.Engine
 	detector *detect.Detector
 	warm     bool
 	start    time.Time // start of the first timeunit
+	warmLen  int       // units actually ingested by Warmup
 	instance int
 
 	// Seasonality actually in use (filled during Warmup).
@@ -192,15 +212,20 @@ type Tiresias struct {
 
 // New constructs a Tiresias instance.
 func New(opts ...Option) (*Tiresias, error) {
-	o := defaults()
+	o := defaultOptions()
 	for _, op := range opts {
 		op.apply(&o)
 	}
 	if o.delta <= 0 {
-		return nil, fmt.Errorf("core: delta must be > 0, got %v", o.delta)
+		return nil, fmt.Errorf("tiresias: delta must be > 0, got %v", o.delta)
 	}
 	if o.windowLen < 2 {
-		return nil, fmt.Errorf("core: window length must be >= 2, got %d", o.windowLen)
+		return nil, fmt.Errorf("tiresias: window length must be >= 2, got %d", o.windowLen)
+	}
+	switch o.algorithm {
+	case AlgorithmADA, AlgorithmSTA:
+	default:
+		return nil, fmt.Errorf("tiresias: unknown algorithm %v (want AlgorithmADA or AlgorithmSTA)", o.algorithm)
 	}
 	if o.increment != 0 {
 		m, err := algo.MapScales(o.delta, o.increment)
@@ -218,11 +243,11 @@ func New(opts ...Option) (*Tiresias, error) {
 		}
 	}
 	if len(o.seasonPeriods) > 2 {
-		return nil, fmt.Errorf("core: at most 2 seasonal periods, got %d", len(o.seasonPeriods))
+		return nil, fmt.Errorf("tiresias: at most 2 seasonal periods, got %d", len(o.seasonPeriods))
 	}
 	for _, p := range o.seasonPeriods {
 		if p < 1 {
-			return nil, fmt.Errorf("core: seasonal period must be >= 1, got %d", p)
+			return nil, fmt.Errorf("tiresias: seasonal period must be >= 1, got %d", p)
 		}
 	}
 	det, err := detect.New(o.thresholds)
@@ -235,6 +260,13 @@ func New(opts ...Option) (*Tiresias, error) {
 // Delta returns the configured timeunit size.
 func (t *Tiresias) Delta() time.Duration { return t.opts.delta }
 
+// WindowLen returns the configured sliding-window length ℓ in
+// timeunits (after any WithIncrement rescaling).
+func (t *Tiresias) WindowLen() int { return t.opts.windowLen }
+
+// Warm reports whether Warmup has completed.
+func (t *Tiresias) Warm() bool { return t.warm }
+
 // SeasonalPeriods returns the seasonal periods in use after Warmup
 // (nil before).
 func (t *Tiresias) SeasonalPeriods() []int {
@@ -246,15 +278,19 @@ func (t *Tiresias) SeasonalPeriods() []int {
 func (t *Tiresias) Engine() algo.Engine { return t.engine }
 
 // ErrNotWarm is returned by ProcessUnit before Warmup.
-var ErrNotWarm = errors.New("core: Warmup must complete before ProcessUnit")
+var ErrNotWarm = errors.New("tiresias: Warmup must complete before ProcessUnit")
+
+// ErrWarm is returned by Warmup when the instance is already warm;
+// call Reset first to re-warm.
+var ErrWarm = errors.New("tiresias: already warm (call Reset to re-warm)")
 
 // Warmup ingests the initial history window (oldest first) starting at
 // the given wall-clock time, performs Step-3 seasonality analysis, and
 // initializes the engine. len(units) should be the configured window
 // length; shorter histories work with reduced forecast quality.
-func (t *Tiresias) Warmup(units []algo.Timeunit, start time.Time) error {
+func (t *Tiresias) Warmup(units []Timeunit, start time.Time) error {
 	if t.warm {
-		return errors.New("core: Warmup called twice")
+		return ErrWarm
 	}
 	t.start = start
 
@@ -292,15 +328,31 @@ func (t *Tiresias) Warmup(units []algo.Timeunit, start time.Time) error {
 		return err
 	}
 	t.lastState = st
+	t.warmLen = len(units)
 	t.instance = 0
 	t.warm = true
 	return nil
 }
 
+// Reset returns the instance to its pre-Warmup state, discarding the
+// engine, learned seasonality, and all counters while keeping the
+// configuration. After Reset, Warmup may be called again — e.g. to
+// re-warm a detector on fresh history after a data outage.
+func (t *Tiresias) Reset() {
+	t.engine = nil
+	t.warm = false
+	t.start = time.Time{}
+	t.warmLen = 0
+	t.instance = 0
+	t.periods = nil
+	t.xi = 0
+	t.lastState = nil
+}
+
 // analyzeSeasonality runs FFT + wavelet analysis on the aggregate
 // series and returns up to two seasonal periods (in timeunits) and the
 // combination weight ξ.
-func (t *Tiresias) analyzeSeasonality(units []algo.Timeunit) ([]int, float64) {
+func (t *Tiresias) analyzeSeasonality(units []Timeunit) ([]int, float64) {
 	totals := make([]float64, len(units))
 	for i, u := range units {
 		totals[i] = u.Total()
@@ -358,14 +410,16 @@ type StepResult struct {
 	// State is the engine's step outcome (heavy hitters, timings).
 	State *algo.StepState
 	// Anomalies lists Definition-4 violations in the newest unit.
-	Anomalies []detect.Anomaly
+	Anomalies []Anomaly
 	// UnitStart is the wall-clock start of the processed unit.
 	UnitStart time.Time
 }
 
 // ProcessUnit advances one timeunit (Step 6's "keep checking for new
-// data" loop body) and returns detected anomalies.
-func (t *Tiresias) ProcessUnit(u algo.Timeunit) (*StepResult, error) {
+// data" loop body) and returns detected anomalies. Registered sinks
+// are notified before ProcessUnit returns: OnAnomaly once per anomaly
+// (in detection order), then OnUnit once for the unit.
+func (t *Tiresias) ProcessUnit(u Timeunit) (*StepResult, error) {
 	if !t.warm {
 		return nil, ErrNotWarm
 	}
@@ -375,52 +429,49 @@ func (t *Tiresias) ProcessUnit(u algo.Timeunit) (*StepResult, error) {
 	}
 	t.lastState = st
 	t.instance++
-	unitStart := t.start.Add(time.Duration(t.opts.windowLen+t.instance-1) * t.opts.delta)
+	// Clock from the units actually warmed, not the configured window:
+	// a short-history warmup must not skew timestamps into the future.
+	unitStart := t.start.Add(time.Duration(t.warmLen+t.instance-1) * t.opts.delta)
 	anoms := t.detector.Scan(st, unitStart)
+	t.emit(st, anoms, unitStart)
 	return &StepResult{State: st, Anomalies: anoms, UnitStart: unitStart}, nil
 }
 
-// RunResult summarizes a batch run.
-type RunResult struct {
-	// Anomalies aggregates all detections, in time order.
-	Anomalies []detect.Anomaly
-	// Units is the number of timeunits processed after warmup.
-	Units int
-	// Timings accumulates engine stage costs.
-	Timings algo.StageTimings
-	// HeavyHitterCount is the SHHH set size after the last unit.
-	HeavyHitterCount int
+// emit pushes one processed unit's events to the registered sinks.
+func (t *Tiresias) emit(st *algo.StepState, anoms []Anomaly, unitStart time.Time) {
+	if len(t.opts.sinks) == 0 {
+		return
+	}
+	ev := UnitEvent{
+		Instance:     st.Instance,
+		Start:        unitStart,
+		HeavyHitters: len(st.HeavyHitters),
+		Anomalies:    len(anoms),
+	}
+	for _, s := range t.opts.sinks {
+		for _, a := range anoms {
+			s.OnAnomaly(a)
+		}
+		s.OnUnit(ev)
+	}
 }
 
-// Run drains a record source: the first windowLen timeunits warm the
-// detector up, every following unit is screened for anomalies.
-func (t *Tiresias) Run(src stream.Source) (*RunResult, error) {
-	units, start, err := stream.Collect(src, t.opts.delta)
-	if err != nil {
-		return nil, err
-	}
-	if len(units) == 0 {
-		return nil, errors.New("core: empty input stream")
-	}
-	warmLen := t.opts.windowLen
-	if warmLen > len(units) {
-		warmLen = len(units)
-	}
-	if err := t.Warmup(units[:warmLen], start); err != nil {
-		return nil, err
-	}
-	res := &RunResult{}
-	for _, u := range units[warmLen:] {
-		sr, err := t.ProcessUnit(u)
-		if err != nil {
-			return nil, err
+// ingestUnit routes one completed timeunit of a record feed: buffered
+// for warmup until the window fills (nil result), screened for
+// anomalies afterwards. first is the wall-clock start of the feed's
+// first unit, used when the buffer triggers Warmup. Shared by Run and
+// Manager so warmup semantics cannot drift between them.
+func (t *Tiresias) ingestUnit(u Timeunit, warmBuf *[]Timeunit, first time.Time) (*StepResult, error) {
+	if !t.warm {
+		*warmBuf = append(*warmBuf, u)
+		if len(*warmBuf) < t.opts.windowLen {
+			return nil, nil
 		}
-		res.Anomalies = append(res.Anomalies, sr.Anomalies...)
-		res.Units++
-		res.Timings.Add(sr.State.Timings)
-		res.HeavyHitterCount = len(sr.State.HeavyHitters)
+		err := t.Warmup(*warmBuf, first)
+		*warmBuf = nil
+		return nil, err
 	}
-	return res, nil
+	return t.ProcessUnit(u)
 }
 
 // HeavyHitters returns the SHHH membership keys of the most recently
