@@ -16,6 +16,7 @@ import (
 	"tiresias/internal/algo"
 	"tiresias/internal/experiments"
 	"tiresias/internal/forecast"
+	"tiresias/internal/perfbench"
 	"tiresias/internal/stream"
 )
 
@@ -99,8 +100,28 @@ func BenchmarkSensitivity(b *testing.B) { runExperiment(b, "sensitivity") }
 func BenchmarkAblateScales(b *testing.B) { runExperiment(b, "ablate-scales") }
 
 // --- Micro-benchmarks on the hot paths. ---
+//
+// The bodies live in internal/perfbench so that cmd/tiresias-bench
+// -json runs the exact same workloads when recording BENCH_*.json.
 
-// stepWorkload builds a warm engine plus a stream of steps.
+// BenchmarkADAStep measures one ADA time instance on the dense hot
+// path (the paper's O(|tree|) step).
+func BenchmarkADAStep(b *testing.B) { perfbench.ADAStep(b) }
+
+// BenchmarkADAStepMap measures the same instance entering through the
+// compatibility map-form Step (per-unit Key interning included).
+func BenchmarkADAStepMap(b *testing.B) {
+	e, units := stepWorkload(b, "ADA")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(units[i%len(units)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stepWorkload builds a warm engine plus a stream of map-form steps.
 func stepWorkload(b *testing.B, name string) (algo.Engine, []algo.Timeunit) {
 	b.Helper()
 	p := benchProfile()
@@ -130,31 +151,9 @@ func stepWorkload(b *testing.B, name string) (algo.Engine, []algo.Timeunit) {
 	return e, w.Units[p.WarmUnits:]
 }
 
-// BenchmarkADAStep measures one ADA time instance (the paper's
-// O(|tree|) step).
-func BenchmarkADAStep(b *testing.B) {
-	e, units := stepWorkload(b, "ADA")
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Step(units[i%len(units)]); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 // BenchmarkSTAStep measures one STA time instance (the O(ℓ·|tree|)
 // strawman), the Table III contrast.
-func BenchmarkSTAStep(b *testing.B) {
-	e, units := stepWorkload(b, "STA")
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Step(units[i%len(units)]); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkSTAStep(b *testing.B) { perfbench.STAStep(b) }
 
 // BenchmarkHoltWintersUpdate measures the constant-time forecast
 // update at the core of Step 4.
@@ -191,8 +190,13 @@ func BenchmarkDualSeasonUpdate(b *testing.B) {
 	}
 }
 
-// BenchmarkWindowerObserve measures Step-1 record classification.
-func BenchmarkWindowerObserve(b *testing.B) {
+// BenchmarkWindowerObserve measures Step-1 record classification on
+// the dense path (path interning plus pooled dense units).
+func BenchmarkWindowerObserve(b *testing.B) { perfbench.WindowerObserve(b) }
+
+// BenchmarkWindowerObserveMap measures the compatibility map path
+// (per-record Key construction, map-form timeunits).
+func BenchmarkWindowerObserveMap(b *testing.B) {
 	p := benchProfile()
 	w, err := experiments.CCDNetWorkload(p, nil)
 	if err != nil {

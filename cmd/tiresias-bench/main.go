@@ -1,5 +1,6 @@
 // Command tiresias-bench regenerates the paper's tables and figures
-// on synthetic workloads.
+// on synthetic workloads, and records the hot-path micro-benchmark
+// trajectory.
 //
 // Usage:
 //
@@ -7,9 +8,12 @@
 //	tiresias-bench -profile full   # paper-scale dimensions
 //	tiresias-bench -exp table3     # a single experiment
 //	tiresias-bench -list           # list experiment identifiers
+//	tiresias-bench -json FILE      # run the hot-path micro-benchmarks
+//	                               # and write BENCH_*.json ("-" = stdout)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"tiresias/internal/experiments"
+	"tiresias/internal/perfbench"
 )
 
 func main() {
@@ -31,11 +36,12 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tiresias-bench", flag.ContinueOnError)
 	var (
-		profile = fs.String("profile", "quick", "workload profile: quick | full")
-		exp     = fs.String("exp", "", "run a single experiment (see -list)")
-		list    = fs.Bool("list", false, "list experiment identifiers and exit")
-		seed    = fs.Int64("seed", 0, "override the profile seed (0 keeps default)")
-		dataDir = fs.String("data", "", "write raw figure point data (CSV) into this directory")
+		profile  = fs.String("profile", "quick", "workload profile: quick | full")
+		exp      = fs.String("exp", "", "run a single experiment (see -list)")
+		list     = fs.Bool("list", false, "list experiment identifiers and exit")
+		seed     = fs.Int64("seed", 0, "override the profile seed (0 keeps default)")
+		dataDir  = fs.String("data", "", "write raw figure point data (CSV) into this directory")
+		jsonPath = fs.String("json", "", "run the hot-path micro-benchmarks and write them as JSON to this file (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +51,9 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, id)
 		}
 		return nil
+	}
+	if *jsonPath != "" {
+		return runMicro(*jsonPath, stdout)
 	}
 	var p experiments.Profile
 	switch *profile {
@@ -82,6 +91,34 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runMicro executes the tracked hot-path micro-benchmarks (the same
+// bodies as `go test -bench` via internal/perfbench) and writes the
+// BENCH_*.json report.
+func runMicro(path string, stdout io.Writer) error {
+	rep, err := perfbench.RunAll()
+	if err != nil {
+		return err
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(stdout, "%-18s %10d iters  %12.1f ns/op  %6d B/op  %4d allocs/op\n",
+			b.Name, b.N, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package algo
 
 import (
-	"sort"
 	"time"
 
 	"tiresias/internal/forecast"
@@ -25,6 +24,11 @@ type nodeSeries struct {
 // each time instance moves those series to the new heavy-hitter
 // positions with SPLIT (top-down) and MERGE (bottom-up) instead of
 // reconstructing them, giving O(|tree|) work per instance.
+//
+// The per-instance hot path is flat: traversals iterate the tree's CSR
+// ID orders, the timeunit is consumed in dense (node-ID) form, and all
+// scratch — including the returned StepState — is reused across
+// instances, so a steady-state StepDense performs zero allocations.
 type ADA struct {
 	cfg      Config
 	tree     *hierarchy.Tree
@@ -40,14 +44,32 @@ type ADA struct {
 	tosplit  []bool
 	gotSplit []bool // received a split series this instance (for §V-B5 repair)
 
+	// Touched-ID lists for tosplit/gotSplit, so each instance clears
+	// only what the previous instance marked instead of memsetting
+	// O(|tree|) flags.
+	splitMark []int32
+	gotMark   []int32
+
 	// Split-rule statistics (X_n), per node.
 	prevA []float64 // raw weight in the previous timeunit
 	cumA  []float64 // cumulative raw weight over all timeunits
 	ewmaA []float64 // exponentially smoothed raw weight
 
 	// Reference series for nodes in the top h levels (§V-B5).
-	refActual map[int]*series.Ring
-	refModel  map[int]forecast.Linear
+	refActual  map[int]*series.Ring
+	refModel   map[int]forecast.Linear
+	refCovered int // tree size when reference coverage was last ensured
+
+	// Reusable scratch and pools for the steady-state step.
+	du        DenseUnit     // dense form of map-based Step input
+	snap      StepState     // returned by snapshot, reused every instance
+	members   []int32       // current SHHH member IDs, ascending
+	freeNS    []*nodeSeries // pooled series holders (rings attached)
+	freeRings []*series.Ring
+	candBuf   []int32   // split candidates
+	xsBuf     []float64 // split ratios
+	valBuf    []float64 // Ring.ValuesInto scratch for model refits
+	stackBuf  []int32   // DFS stack for subtractDescendants
 }
 
 var _ Engine = (*ADA)(nil)
@@ -57,9 +79,13 @@ func NewADA(cfg Config) (*ADA, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	tree := cfg.Tree
+	if tree == nil {
+		tree = hierarchy.New()
+	}
 	return &ADA{
 		cfg:       cfg,
-		tree:      hierarchy.New(),
+		tree:      tree,
 		refActual: make(map[int]*series.Ring),
 		refModel:  make(map[int]forecast.Linear),
 	}, nil
@@ -135,8 +161,9 @@ func (a *ADA) Init(window []Timeunit) (*StepState, error) {
 	for _, n := range owners {
 		hist[n.ID] = make([]float64, 0, len(units))
 	}
+	var w []float64
 	for _, u := range units {
-		w := shhh.FrozenWeights(a.tree, u, res.InSet)
+		w = shhh.FrozenWeightsInto(a.tree, u, res.InSet, w)
 		for _, n := range owners {
 			hist[n.ID] = append(hist[n.ID], w[n.ID])
 		}
@@ -172,8 +199,9 @@ func (a *ADA) Init(window []Timeunit) (*StepState, error) {
 			a.refActual[n.ID] = series.NewRing(a.cfg.WindowLen)
 		}
 	}
+	var agg []float64
 	for _, u := range units {
-		agg := shhh.Aggregate(a.tree, u)
+		agg = shhh.AggregateInto(a.tree, u, agg)
 		for id, r := range a.refActual {
 			r.Append(agg[id])
 		}
@@ -190,6 +218,7 @@ func (a *ADA) Init(window []Timeunit) (*StepState, error) {
 		a.refModel[id] = a.cfg.NewForecaster(vals[:len(vals)-1])
 		a.refModel[id].Update(vals[len(vals)-1])
 	}
+	a.refCovered = a.tree.Len()
 	tSeries := time.Since(start)
 
 	start = time.Now()
@@ -216,6 +245,52 @@ func (a *ADA) newNodeSeries() *nodeSeries {
 	return ns
 }
 
+// getSeries returns a series holder with empty rings, reusing a pooled
+// one when available.
+func (a *ADA) getSeries() *nodeSeries {
+	if n := len(a.freeNS); n > 0 {
+		ns := a.freeNS[n-1]
+		a.freeNS = a.freeNS[:n-1]
+		ns.actual.Reset()
+		ns.fcast.Reset()
+		return ns
+	}
+	return &nodeSeries{
+		actual: series.NewRing(a.cfg.WindowLen),
+		fcast:  series.NewRing(a.cfg.WindowLen),
+	}
+}
+
+// putSeries returns a discarded holder to the pool. The model and
+// multi-scale state are dropped (their shapes vary), the rings are
+// kept.
+func (a *ADA) putSeries(ns *nodeSeries) {
+	if ns == nil {
+		return
+	}
+	ns.model = nil
+	ns.multi = nil
+	a.freeNS = append(a.freeNS, ns)
+}
+
+// getRing returns an empty ring of window capacity from the pool.
+func (a *ADA) getRing() *series.Ring {
+	if n := len(a.freeRings); n > 0 {
+		r := a.freeRings[n-1]
+		a.freeRings = a.freeRings[:n-1]
+		r.Reset()
+		return r
+	}
+	return series.NewRing(a.cfg.WindowLen)
+}
+
+// putRing pools a discarded ring.
+func (a *ADA) putRing(r *series.Ring) {
+	if r != nil && r.Cap() == a.cfg.WindowLen {
+		a.freeRings = append(a.freeRings, r)
+	}
+}
+
 // observeRuleStats updates X_n statistics with the node's raw weight
 // for the elapsed timeunit.
 func (a *ADA) observeRuleStats(id int, rawA float64) {
@@ -238,80 +313,105 @@ func (a *ADA) ruleX(id int) float64 {
 	}
 }
 
-// Step implements Engine: lines 6-29 of Fig. 5.
+// Step implements Engine: lines 6-29 of Fig. 5. The map-form timeunit
+// is interned into a reused dense scratch unit and handed to the flat
+// core.
 func (a *ADA) Step(u Timeunit) (*StepState, error) {
 	if !a.inited {
 		return nil, errState
 	}
+	a.du.Reset()
+	a.du.AddTimeunit(a.tree, u)
+	return a.stepDense(&a.du)
+}
+
+// StepDense implements Engine.
+func (a *ADA) StepDense(u *DenseUnit) (*StepState, error) {
+	if !a.inited {
+		return nil, errState
+	}
+	return a.stepDense(u)
+}
+
+// stepDense is the flat per-instance core. Every traversal is a loop
+// over the tree's CSR ID orders; in the steady state (no tree growth,
+// no membership change) it allocates nothing.
+func (a *ADA) stepDense(u *DenseUnit) (*StepState, error) {
 	a.instance++
 
 	// --- Initialization stage (lines 6-12). ---
 	start := time.Now()
-	for k := range u {
-		a.tree.InsertKey(k)
-	}
 	a.grow()
-	for id := range a.weight {
-		a.weight[id] = 0
-		a.rawA[id] = 0
+	csr := a.tree.CSR()
+	childOff, childIDs := csr.ChildOff, csr.ChildIDs
+	for _, id := range a.splitMark {
 		a.tosplit[id] = false
+	}
+	a.splitMark = a.splitMark[:0]
+	for _, id := range a.gotMark {
 		a.gotSplit[id] = false
 	}
-	for k, v := range u {
-		n := a.tree.Lookup(k)
-		a.weight[n.ID] += v
-		a.rawA[n.ID] += v
-	}
+	a.gotMark = a.gotMark[:0]
 	// Update-Ishh-and-Weight (Fig. 6), as a bottom-up sweep: W_n and
-	// A_n of the current timeunit, with ishh ≡ W_n >= θ.
-	a.tree.WalkBottomUp(func(n *hierarchy.Node) {
-		for _, c := range n.Children() {
-			a.rawA[n.ID] += a.rawA[c.ID]
-			if !a.ishh[c.ID] {
-				a.weight[n.ID] += a.weight[c.ID]
+	// A_n of the current timeunit, with ishh ≡ W_n >= θ. Assignment
+	// form: direct counts come from the dense unit in O(1), so no
+	// per-instance clearing of the weight arrays is needed.
+	theta := a.cfg.Theta
+	for _, id32 := range csr.BottomUp {
+		id := int(id32)
+		v := u.ValueAt(id)
+		aw, w := v, v
+		for j := childOff[id]; j < childOff[id+1]; j++ {
+			c := childIDs[j]
+			aw += a.rawA[c]
+			if !a.ishh[c] {
+				w += a.weight[c]
 			}
 		}
-		a.ishh[n.ID] = a.weight[n.ID] >= a.cfg.Theta
-	})
+		a.rawA[id], a.weight[id] = aw, w
+		a.ishh[id] = w >= theta
+	}
 	tUpdate := time.Since(start)
 
 	// --- SHHH and time-series adaptation (lines 13-25). ---
 	start = time.Now()
 	// Mark ancestors of newly heavy nodes for splitting (lines 13-17).
-	a.tree.WalkBottomUp(func(n *hierarchy.Node) {
-		if (a.ishh[n.ID] || a.tosplit[n.ID]) && !a.inSHHH[n.ID] {
-			if p := n.Parent(); p != nil {
-				a.tosplit[p.ID] = true
+	for _, id32 := range csr.BottomUp {
+		id := int(id32)
+		if (a.ishh[id] || a.tosplit[id]) && !a.inSHHH[id] {
+			if p := csr.Parent[id]; p >= 0 {
+				a.markSplit(int(p))
 			}
 		}
-	})
+	}
 	// Top-down split pass (lines 18-20; the root is always eligible).
-	a.tree.WalkTopDown(func(n *hierarchy.Node) {
-		if a.tosplit[n.ID] && (a.inSHHH[n.ID] || n.Parent() == nil) {
-			a.split(n)
+	for _, id32 := range csr.TopDown {
+		id := int(id32)
+		if a.tosplit[id] && (a.inSHHH[id] || csr.Parent[id] < 0) {
+			a.split(id, csr)
 		}
-	})
+	}
 	// Bottom-up merge pass (lines 21-23).
-	a.tree.WalkBottomUp(func(n *hierarchy.Node) {
-		if a.inSHHH[n.ID] && !a.ishh[n.ID] {
-			a.merge(n)
+	for _, id32 := range csr.BottomUp {
+		id := int(id32)
+		if a.inSHHH[id] && !a.ishh[id] {
+			a.merge(id, csr)
 		}
-	})
+	}
 	// Root membership (lines 24-25). The root keeps its residual
 	// series either way.
-	root := a.tree.Root()
-	a.inSHHH[root.ID] = a.ishh[root.ID]
-	if a.state[root.ID] == nil {
-		a.state[root.ID] = a.freshSeries(root)
+	rootID := a.tree.Root().ID
+	a.inSHHH[rootID] = a.ishh[rootID]
+	if a.state[rootID] == nil {
+		a.state[rootID] = a.freshSeries()
 	}
 	// Repair split-induced bias with reference series (§V-B5).
 	if a.cfg.RefLevels > 0 {
-		a.repairFromReferences()
+		a.repairFromReferences(csr)
 	}
 	// Append the new weights to every member's series (lines 26-29).
-	for _, n := range a.tree.Nodes() {
-		id := n.ID
-		if !a.inSHHH[id] && n != root {
+	for id := range a.state {
+		if !a.inSHHH[id] && id != rootID {
 			continue
 		}
 		ns := a.state[id]
@@ -319,7 +419,7 @@ func (a *ADA) Step(u Timeunit) (*StepState, error) {
 			// A heavy hitter that received no series through
 			// split or merge (possible only with direct interior
 			// counts); start a fresh one.
-			ns = a.freshSeries(n)
+			ns = a.freshSeries()
 			a.state[id] = ns
 		}
 		ns.fcast.Append(ns.model.Forecast())
@@ -335,8 +435,11 @@ func (a *ADA) Step(u Timeunit) (*StepState, error) {
 		a.refModel[id].Update(a.rawA[id])
 	}
 	a.maintainRefCoverage()
-	for id := range a.rawA {
-		a.observeRuleStats(id, a.rawA[id])
+	alpha := a.cfg.RuleAlpha
+	for id, v := range a.rawA {
+		a.prevA[id] = v
+		a.cumA[id] += v
+		a.ewmaA[id] = alpha*v + (1-alpha)*a.ewmaA[id]
 	}
 	tSeries := time.Since(start)
 
@@ -352,13 +455,53 @@ func (a *ADA) Step(u Timeunit) (*StepState, error) {
 	return st, nil
 }
 
+// markSplit flags a node for the split pass, recording it for the
+// next instance's O(touched) clear.
+func (a *ADA) markSplit(id int) {
+	if !a.tosplit[id] {
+		a.tosplit[id] = true
+		a.splitMark = append(a.splitMark, int32(id))
+	}
+}
+
+// markGotSplit records that a node received a split series this
+// instance.
+func (a *ADA) markGotSplit(id int) {
+	if !a.gotSplit[id] {
+		a.gotSplit[id] = true
+		a.gotMark = append(a.gotMark, int32(id))
+	}
+}
+
 // freshSeries creates an empty series whose model is seeded from
 // nothing (EWMA-like behaviour until history accumulates).
-func (a *ADA) freshSeries(n *hierarchy.Node) *nodeSeries {
-	ns := a.newNodeSeries()
+func (a *ADA) freshSeries() *nodeSeries {
+	ns := a.getSeries()
 	ns.model = a.cfg.NewForecaster(nil)
-	_ = n
+	if a.cfg.Eta > 1 {
+		ms, err := series.NewMultiScale(a.cfg.Lambda, a.cfg.Eta, a.cfg.WindowLen)
+		if err == nil {
+			ns.multi = ms
+		}
+	}
 	return ns
+}
+
+// scaledCopy builds a child series holder carrying ratio times the
+// parent's state, drawing rings from the pool instead of cloning.
+func (a *ADA) scaledCopy(src *nodeSeries, ratio float64) *nodeSeries {
+	child := a.getSeries()
+	_ = child.actual.CopyFrom(src.actual)
+	child.actual.Scale(ratio)
+	_ = child.fcast.CopyFrom(src.fcast)
+	child.fcast.Scale(ratio)
+	child.model = src.model.Clone()
+	child.model.Scale(ratio)
+	if src.multi != nil {
+		child.multi = src.multi.Clone()
+		child.multi.Scale(ratio)
+	}
+	return child
 }
 
 // split implements SPLIT(n) (Fig. 7): distribute n's series to its
@@ -366,59 +509,49 @@ func (a *ADA) freshSeries(n *hierarchy.Node) *nodeSeries {
 // whose ratio is zero and whose subtree holds no heavy hitter are
 // skipped (they would receive an all-zero series and immediately merge
 // back); their weight stays accounted at n.
-func (a *ADA) split(n *hierarchy.Node) {
-	candidates := make([]*hierarchy.Node, 0, n.Degree())
+func (a *ADA) split(id int, csr *hierarchy.CSR) {
+	cands := a.candBuf[:0]
 	eligible := false
-	for _, c := range n.Children() {
-		if a.inSHHH[c.ID] {
+	for j := csr.ChildOff[id]; j < csr.ChildOff[id+1]; j++ {
+		c := int(csr.ChildIDs[j])
+		if a.inSHHH[c] {
 			continue
 		}
-		candidates = append(candidates, c)
-		if a.weight[c.ID] >= a.cfg.Theta || a.tosplit[c.ID] {
+		cands = append(cands, int32(c))
+		if a.weight[c] >= a.cfg.Theta || a.tosplit[c] {
 			eligible = true
 		}
 	}
-	if !eligible || len(candidates) == 0 {
+	a.candBuf = cands[:0]
+	if !eligible || len(cands) == 0 {
 		return
 	}
 	var sumX float64
-	xs := make([]float64, len(candidates))
-	for i, c := range candidates {
-		xs[i] = a.ruleX(c.ID)
-		if xs[i] < 0 {
-			xs[i] = 0
+	xs := a.xsBuf[:0]
+	for _, c := range cands {
+		x := a.ruleX(int(c))
+		if x < 0 {
+			x = 0
 		}
-		sumX += xs[i]
+		xs = append(xs, x)
+		sumX += x
 	}
+	a.xsBuf = xs[:0]
 	if sumX == 0 {
 		for i := range xs {
 			xs[i] = 1
 		}
 		sumX = float64(len(xs))
 	}
-	parent := a.state[n.ID]
+	parent := a.state[id]
 	if parent == nil {
-		parent = a.freshSeries(n)
-	}
-	scaled := func(ratio float64) *nodeSeries {
-		child := &nodeSeries{
-			actual: parent.actual.Clone(),
-			fcast:  parent.fcast.Clone(),
-			model:  parent.model.Clone(),
-		}
-		child.actual.Scale(ratio)
-		child.fcast.Scale(ratio)
-		child.model.Scale(ratio)
-		if parent.multi != nil {
-			child.multi = parent.multi.Clone()
-			child.multi.Scale(ratio)
-		}
-		return child
+		parent = a.freshSeries()
 	}
 	skippedLight := 0
-	for i, c := range candidates {
+	for i, c32 := range cands {
+		c := int(c32)
 		ratio := xs[i] / sumX
-		needsSeries := a.weight[c.ID] >= a.cfg.Theta || a.tosplit[c.ID]
+		needsSeries := a.weight[c] >= a.cfg.Theta || a.tosplit[c]
 		if ratio == 0 && !needsSeries {
 			// In the paper this child would receive a zero-scaled
 			// series and immediately merge back into n; short-
@@ -426,92 +559,103 @@ func (a *ADA) split(n *hierarchy.Node) {
 			skippedLight++
 			continue
 		}
-		a.state[c.ID] = scaled(ratio)
-		a.inSHHH[c.ID] = true
-		a.gotSplit[c.ID] = true
+		a.state[c] = a.scaledCopy(parent, ratio)
+		a.inSHHH[c] = true
+		a.markGotSplit(c)
 	}
-	a.state[n.ID] = nil
-	a.inSHHH[n.ID] = false
+	a.state[id] = nil
+	a.inSHHH[id] = false
 	if skippedLight > 0 {
 		// Emulate the skipped children's merge-back: n stays a
 		// member holding the zero residual series (the sum of the
 		// zero-scaled series the skipped children would have
 		// returned). If n is light it will merge upward normally.
-		a.state[n.ID] = scaled(0)
-		a.inSHHH[n.ID] = true
-	}
-	if n.Parent() == nil && a.state[n.ID] == nil {
+		a.state[id] = a.scaledCopy(parent, 0)
+		a.inSHHH[id] = true
+	} else if csr.Parent[id] < 0 {
 		// The root must keep a (now empty) residual series holder.
-		a.state[n.ID] = a.freshSeries(n)
+		a.state[id] = a.freshSeries()
 	}
+	a.putSeries(parent)
 }
 
 // merge implements MERGE(n) (Fig. 8): fold the series of n — and of
 // any sibling members that are also below threshold — into the parent.
-func (a *ADA) merge(n *hierarchy.Node) {
-	if a.ishh[n.ID] {
+func (a *ADA) merge(id int, csr *hierarchy.CSR) {
+	if a.ishh[id] {
 		return
 	}
-	p := n.Parent()
-	if p == nil {
+	p := csr.Parent[id]
+	if p < 0 {
 		return // root handled by the membership rule
 	}
-	dst := a.state[p.ID]
+	pid := int(p)
+	dst := a.state[pid]
 	if dst == nil {
-		dst = a.freshSeries(p)
-		a.state[p.ID] = dst
+		dst = a.freshSeries()
+		a.state[pid] = dst
 	}
-	for _, c := range p.Children() {
-		if !a.inSHHH[c.ID] || a.ishh[c.ID] {
+	for j := csr.ChildOff[pid]; j < csr.ChildOff[pid+1]; j++ {
+		c := int(csr.ChildIDs[j])
+		if !a.inSHHH[c] || a.ishh[c] {
 			continue
 		}
-		src := a.state[c.ID]
+		src := a.state[c]
 		if src != nil {
 			// Series and model addition are exact thanks to
 			// Holt-Winters linearity (Lemma 2).
 			_ = dst.actual.AddRing(src.actual)
 			_ = dst.fcast.AddRing(src.fcast)
-			if err := dst.model.Add(src.model); err != nil {
+			if forecast.Compatible(dst.model, src.model) {
+				_ = dst.model.Add(src.model)
+			} else {
 				// Shape mismatch (fresh EWMA vs seasoned HW):
 				// refit from the merged actual series.
-				vals := dst.actual.Values()
-				dst.model = a.cfg.NewForecaster(vals)
+				a.valBuf = dst.actual.ValuesInto(a.valBuf)
+				dst.model = a.cfg.NewForecaster(a.valBuf)
 			}
 			if dst.multi != nil && src.multi != nil {
 				_ = dst.multi.Add(src.multi)
 			}
+			a.putSeries(src)
 		}
-		a.state[c.ID] = nil
-		a.inSHHH[c.ID] = false
+		a.state[c] = nil
+		a.inSHHH[c] = false
 	}
-	a.inSHHH[p.ID] = true
+	a.inSHHH[pid] = true
 }
 
 // repairFromReferences implements §V-B5: for every node that received
 // a (possibly biased) split series this instance and has a reference
 // series, replace its series with T_REF − Σ series of its heavy-hitter
-// descendants.
-func (a *ADA) repairFromReferences() {
-	for _, n := range a.tree.Nodes() {
-		id := n.ID
-		if !a.gotSplit[id] || !a.inSHHH[id] {
+// descendants. gotMark lists the split receivers in non-decreasing
+// depth, so — as in the ID-order walk this replaces — an ancestor is
+// repaired before any of its repaired descendants.
+func (a *ADA) repairFromReferences(csr *hierarchy.CSR) {
+	for _, id32 := range a.gotMark {
+		id := int(id32)
+		if !a.inSHHH[id] {
 			continue
 		}
 		ref, ok := a.refActual[id]
 		if !ok {
 			continue
 		}
-		repaired := ref.Clone()
-		a.subtractDescendants(n, repaired)
 		ns := a.state[id]
 		if ns == nil {
 			continue
 		}
+		repaired := a.getRing()
+		_ = repaired.CopyFrom(ref)
+		a.subtractDescendants(id, repaired, csr)
+		a.putRing(ns.actual)
 		ns.actual = repaired
-		vals := repaired.Values()
+		a.valBuf = repaired.ValuesInto(a.valBuf)
+		vals := a.valBuf
 		if len(vals) > 1 {
 			ns.model = a.cfg.NewForecaster(vals[:len(vals)-1])
-			ns.fcast = series.NewRing(a.cfg.WindowLen)
+			a.putRing(ns.fcast)
+			ns.fcast = a.getRing()
 			replay := a.cfg.NewForecaster(nil)
 			for _, v := range vals {
 				ns.fcast.Append(replay.Forecast())
@@ -523,27 +667,36 @@ func (a *ADA) repairFromReferences() {
 }
 
 // subtractDescendants subtracts from r the actual series of every
-// heavy-hitter descendant of n (excluding n itself), stopping descent
-// at each member (deeper members are already discounted from it).
-func (a *ADA) subtractDescendants(n *hierarchy.Node, r *series.Ring) {
-	var walk func(m *hierarchy.Node)
-	walk = func(m *hierarchy.Node) {
-		for _, c := range m.Children() {
-			if a.inSHHH[c.ID] && a.state[c.ID] != nil {
-				neg := a.state[c.ID].actual.Clone()
-				neg.Scale(-1)
-				_ = r.AddRing(neg)
-				continue
-			}
-			walk(c)
+// heavy-hitter descendant of id (excluding id itself), stopping
+// descent at each member (deeper members are already discounted from
+// it). The explicit stack pushes children in reverse so pop order
+// matches the recursive preorder walk exactly.
+func (a *ADA) subtractDescendants(id int, r *series.Ring, csr *hierarchy.CSR) {
+	stack := a.stackBuf[:0]
+	for j := csr.ChildOff[id+1] - 1; j >= csr.ChildOff[id]; j-- {
+		stack = append(stack, csr.ChildIDs[j])
+	}
+	for len(stack) > 0 {
+		c := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		if a.inSHHH[c] && a.state[c] != nil {
+			_ = r.SubRing(a.state[c].actual)
+			continue
+		}
+		for j := csr.ChildOff[c+1] - 1; j >= csr.ChildOff[c]; j-- {
+			stack = append(stack, csr.ChildIDs[j])
 		}
 	}
-	walk(n)
+	a.stackBuf = stack[:0]
 }
 
 // maintainRefCoverage creates reference series for nodes that newly
-// appeared in the top h levels.
+// appeared in the top h levels. It is a no-op (without a single map
+// lookup) while the tree has not grown.
 func (a *ADA) maintainRefCoverage() {
+	if a.refCovered == a.tree.Len() {
+		return
+	}
 	for depth := 1; depth <= a.cfg.RefLevels; depth++ {
 		for _, n := range a.tree.AtDepth(depth) {
 			if _, ok := a.refActual[n.ID]; ok {
@@ -556,16 +709,24 @@ func (a *ADA) maintainRefCoverage() {
 			a.refModel[n.ID].Update(a.rawA[n.ID])
 		}
 	}
+	a.refCovered = a.tree.Len()
 }
 
-// snapshot assembles the StepState from current membership.
+// snapshot assembles the StepState from current membership, reusing
+// the engine-owned state and refreshing the member-ID list. Nodes are
+// visited in ID order, so HeavyHitters needs no sort.
 func (a *ADA) snapshot() *StepState {
-	st := &StepState{Instance: a.instance}
+	st := &a.snap
+	st.Instance = a.instance
+	st.HeavyHitters = st.HeavyHitters[:0]
+	a.members = a.members[:0]
 	for _, n := range a.tree.Nodes() {
-		if !a.inSHHH[n.ID] {
+		id := n.ID
+		if !a.inSHHH[id] {
 			continue
 		}
-		ns := a.state[n.ID]
+		a.members = append(a.members, int32(id))
+		ns := a.state[id]
 		var actual, fc float64
 		if ns != nil {
 			if v, ok := ns.actual.Last(); ok {
@@ -577,9 +738,6 @@ func (a *ADA) snapshot() *StepState {
 		}
 		st.HeavyHitters = append(st.HeavyHitters, HeavyHitter{Node: n, Actual: actual, Forecast: fc})
 	}
-	sort.Slice(st.HeavyHitters, func(i, j int) bool {
-		return st.HeavyHitters[i].Node.ID < st.HeavyHitters[j].Node.ID
-	})
 	return st
 }
 
@@ -609,13 +767,16 @@ func (a *ADA) MultiScaleOf(n *hierarchy.Node, i int) []float64 {
 	return append([]float64(nil), a.state[n.ID].multi.Series(i)...)
 }
 
-// HeavyHitterNodes returns the current SHHH members in node-ID order.
+// HeavyHitterNodes returns the current SHHH members in node-ID order,
+// served from the incrementally maintained member list (no full-tree
+// scan).
 func (a *ADA) HeavyHitterNodes() []*hierarchy.Node {
-	var out []*hierarchy.Node
-	for _, n := range a.tree.Nodes() {
-		if a.inSHHH[n.ID] {
-			out = append(out, n)
-		}
+	if len(a.members) == 0 {
+		return nil
+	}
+	out := make([]*hierarchy.Node, len(a.members))
+	for i, id := range a.members {
+		out[i] = a.tree.Node(int(id))
 	}
 	return out
 }

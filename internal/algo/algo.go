@@ -77,13 +77,17 @@ func DefaultFactory() ForecasterFactory {
 // HoltWintersFactory returns a factory producing additive Holt-Winters
 // models with the given parameters and seasonal period (in timeunits),
 // falling back to EWMA(alpha) when history is shorter than two cycles.
+// The length check happens before the constructor so the fallback —
+// taken on every short-history refit in ADA's merge — never builds a
+// formatted error.
 func HoltWintersFactory(alpha, beta, gamma float64, period int) ForecasterFactory {
 	return func(history []float64) forecast.Linear {
-		hw, err := forecast.NewHoltWinters(alpha, beta, gamma, period, history)
-		if err != nil {
-			return forecast.NewEWMA(alpha, history...)
+		if period >= 1 && len(history) >= 2*period {
+			if hw, err := forecast.NewHoltWinters(alpha, beta, gamma, period, history); err == nil {
+				return hw
+			}
 		}
-		return hw
+		return forecast.NewEWMA(alpha, history...)
 	}
 }
 
@@ -92,11 +96,15 @@ func HoltWintersFactory(alpha, beta, gamma float64, period int) ForecasterFactor
 // single-season and then EWMA as history allows.
 func DualSeasonFactory(alpha, beta, gamma, xi float64, p1, p2 int) ForecasterFactory {
 	return func(history []float64) forecast.Linear {
-		if d, err := forecast.NewDualSeason(alpha, beta, gamma, xi, p1, p2, history); err == nil {
-			return d
+		if p2 >= p1 && len(history) >= 2*p2 {
+			if d, err := forecast.NewDualSeason(alpha, beta, gamma, xi, p1, p2, history); err == nil {
+				return d
+			}
 		}
-		if hw, err := forecast.NewHoltWinters(alpha, beta, gamma, p1, history); err == nil {
-			return hw
+		if p1 >= 1 && len(history) >= 2*p1 {
+			if hw, err := forecast.NewHoltWinters(alpha, beta, gamma, p1, history); err == nil {
+				return hw
+			}
 		}
 		return forecast.NewEWMA(alpha, history...)
 	}
@@ -181,6 +189,12 @@ func (m MemoryStats) Normalized() float64 {
 }
 
 // Engine is the common interface of STA and ADA.
+//
+// Ownership: the *StepState returned by Init, Step, and StepDense —
+// including its HeavyHitters slice — is owned by the engine and only
+// valid until the next Init/Step/StepDense call (engines reuse it so
+// the steady-state step allocates nothing). Callers that retain a
+// state across steps must copy what they need.
 type Engine interface {
 	// Name identifies the engine ("STA" or "ADA").
 	Name() string
@@ -190,6 +204,12 @@ type Engine interface {
 	Init(window []Timeunit) (*StepState, error)
 	// Step advances one time instance with the newest timeunit.
 	Step(u Timeunit) (*StepState, error)
+	// StepDense is Step for a timeunit already in dense node-ID form.
+	// The IDs must have been interned into the engine's tree (share
+	// one via Config.Tree); the caller keeps ownership of u and may
+	// reset it after the call. This is the allocation-free hot path
+	// used by the streaming front end.
+	StepDense(u *DenseUnit) (*StepState, error)
 	// Tree exposes the engine's hierarchy (grown dynamically).
 	Tree() *hierarchy.Tree
 	// SeriesOf returns a copy of the retained actual series (oldest
@@ -222,6 +242,11 @@ type Config struct {
 	// Lambda and Eta configure the optional multi-timescale series
 	// of §V-B6. Eta <= 1 keeps the single base scale.
 	Lambda, Eta int
+	// Tree optionally supplies the hierarchy the engine operates on,
+	// so a windower can intern record paths into the same ID space
+	// and feed the engine DenseUnits directly. nil creates a private
+	// tree.
+	Tree *hierarchy.Tree
 }
 
 func (c *Config) normalize() error {

@@ -31,6 +31,13 @@ type STA struct {
 	// serve Fig.-12-style comparisons; keyed by node ID.
 	lastSeries map[int][]float64
 	lastFcast  map[int][]float64
+
+	// Reusable scratch: the SHHH result, the per-unit frozen-weight
+	// vector, recycled history slices, and the returned StepState.
+	res       *shhh.Result
+	wScratch  []float64
+	sliceFree [][]float64
+	snap      StepState
 }
 
 var _ Engine = (*STA)(nil)
@@ -41,9 +48,13 @@ func NewSTA(cfg Config) (*STA, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	tree := cfg.Tree
+	if tree == nil {
+		tree = hierarchy.New()
+	}
 	return &STA{
 		cfg:        cfg,
-		tree:       hierarchy.New(),
+		tree:       tree,
 		lastSeries: make(map[int][]float64),
 		lastFcast:  make(map[int][]float64),
 	}, nil
@@ -82,6 +93,21 @@ func (s *STA) Step(u Timeunit) (*StepState, error) {
 	return s.process()
 }
 
+// StepDense implements Engine: STA retains map-form timeunits for its
+// window, so the dense unit is converted on entry (the strawman is the
+// baseline, not the hot path).
+func (s *STA) StepDense(u *DenseUnit) (*StepState, error) {
+	if !s.inited {
+		return nil, errState
+	}
+	s.instance++
+	s.window = append(s.window, u.Timeunit(s.tree))
+	if len(s.window) > s.cfg.WindowLen {
+		s.window = s.window[1:]
+	}
+	return s.process()
+}
+
 // ingest appends a timeunit, evicting the oldest beyond ℓ, and grows
 // the tree with any unseen categories.
 func (s *STA) ingest(u Timeunit) {
@@ -98,28 +124,31 @@ func (s *STA) ingest(u Timeunit) {
 
 // process runs lines 6-9 of Fig. 4: SHHH on the newest timeunit, then
 // series reconstruction over every retained timeunit, then forecast.
+// Scratch (the SHHH result, the frozen-weight vector, and the history
+// slices recycled from the previous reconstruction) is reused across
+// instances.
 func (s *STA) process() (*StepState, error) {
 	newest := s.window[len(s.window)-1]
 
 	start := time.Now()
-	res := shhh.Compute(s.tree, newest, s.cfg.Theta)
+	s.res = shhh.ComputeInto(s.tree, newest, s.cfg.Theta, s.res)
+	res := s.res
 	tUpdate := time.Since(start)
 
 	// Reconstruct T[n, i] for each heavy hitter across the window,
 	// one frozen bottom-up traversal per timeunit (the STA
 	// bottleneck the paper measures in Table III).
 	start = time.Now()
-	clear(s.lastSeries)
-	clear(s.lastFcast)
+	s.recycleLast()
 	hhs := res.Set
 	seriesOf := make(map[int][]float64, len(hhs))
 	for _, n := range hhs {
-		seriesOf[n.ID] = make([]float64, 0, len(s.window))
+		seriesOf[n.ID] = s.getSlice(len(s.window))
 	}
 	for _, u := range s.window {
-		w := shhh.FrozenWeights(s.tree, u, res.InSet)
+		s.wScratch = shhh.FrozenWeightsInto(s.tree, u, res.InSet, s.wScratch)
 		for _, n := range hhs {
-			seriesOf[n.ID] = append(seriesOf[n.ID], w[n.ID])
+			seriesOf[n.ID] = append(seriesOf[n.ID], s.wScratch[n.ID])
 		}
 	}
 	tSeries := time.Since(start)
@@ -127,10 +156,9 @@ func (s *STA) process() (*StepState, error) {
 	// Refit the forecasting model per heavy hitter and forecast the
 	// newest timeunit from the preceding history.
 	start = time.Now()
-	state := &StepState{
-		Instance:     s.instance,
-		HeavyHitters: make([]HeavyHitter, 0, len(hhs)),
-	}
+	state := &s.snap
+	state.Instance = s.instance
+	state.HeavyHitters = state.HeavyHitters[:0]
 	for _, n := range hhs {
 		ts := seriesOf[n.ID]
 		hist := ts[:len(ts)-1]
@@ -144,7 +172,7 @@ func (s *STA) process() (*StepState, error) {
 		s.lastSeries[n.ID] = ts
 		// Reconstruct the forecast trajectory for analysis: replay
 		// the model over the history.
-		fseries := make([]float64, 0, len(ts))
+		fseries := s.getSlice(len(ts))
 		replay := s.cfg.NewForecaster(nil)
 		for _, v := range ts {
 			fseries = append(fseries, replay.Forecast())
@@ -159,6 +187,32 @@ func (s *STA) process() (*StepState, error) {
 		DetectingAnomalies:  time.Since(start),
 	}
 	return state, nil
+}
+
+// recycleLast empties the previous reconstruction caches, keeping the
+// slice backing arrays for reuse.
+func (s *STA) recycleLast() {
+	for id, ts := range s.lastSeries {
+		s.sliceFree = append(s.sliceFree, ts[:0])
+		delete(s.lastSeries, id)
+	}
+	for id, ts := range s.lastFcast {
+		s.sliceFree = append(s.sliceFree, ts[:0])
+		delete(s.lastFcast, id)
+	}
+}
+
+// getSlice returns an empty float slice, preferring a recycled one.
+// An undersized recycled slice is still handed out — the caller's
+// appends grow it and it re-enters the pool at the larger capacity —
+// so the pool is never drained by capacity misses.
+func (s *STA) getSlice(capacity int) []float64 {
+	if n := len(s.sliceFree); n > 0 {
+		out := s.sliceFree[n-1]
+		s.sliceFree = s.sliceFree[:n-1]
+		return out
+	}
+	return make([]float64, 0, capacity)
 }
 
 // SeriesOf implements Engine.

@@ -48,6 +48,24 @@ type Linear interface {
 	Clone() Linear
 }
 
+// Compatible reports whether a.Add(b) would succeed: same concrete
+// model, same seasonal shape, same phase. It exists so merge hot paths
+// can pick add-vs-refit without paying for a formatted error.
+func Compatible(a, b Linear) bool {
+	switch x := a.(type) {
+	case *EWMA:
+		_, ok := b.(*EWMA)
+		return ok
+	case *HoltWinters:
+		y, ok := b.(*HoltWinters)
+		return ok && x.period == y.period && x.idx == y.idx
+	case *DualSeason:
+		y, ok := b.(*DualSeason)
+		return ok && x.p1 == y.p1 && x.p2 == y.p2 && x.i1 == y.i1 && x.i2 == y.i2
+	}
+	return false
+}
+
 // EWMA is the exponentially weighted moving average model
 // F[t] = α·T[t-1] + (1-α)·F[t-1].
 type EWMA struct {

@@ -1,0 +1,152 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refBottomUp reproduces the pre-CSR pointer walk: deepest level
+// first, insertion order within a level (nodes grouped stably by
+// depth).
+func refBottomUp(t *Tree) []int {
+	byDepth := make([][]int, t.Height())
+	for _, n := range t.Nodes() { // Nodes() is insertion order
+		byDepth[n.Depth] = append(byDepth[n.Depth], n.ID)
+	}
+	var out []int
+	for d := len(byDepth) - 1; d >= 0; d-- {
+		out = append(out, byDepth[d]...)
+	}
+	return out
+}
+
+// refTopDown is the level-order counterpart.
+func refTopDown(t *Tree) []int {
+	byDepth := make([][]int, t.Height())
+	for _, n := range t.Nodes() {
+		byDepth[n.Depth] = append(byDepth[n.Depth], n.ID)
+	}
+	var out []int
+	for d := 0; d < len(byDepth); d++ {
+		out = append(out, byDepth[d]...)
+	}
+	return out
+}
+
+// randomGrow inserts count random paths of depth <= maxDepth.
+func randomGrow(t *Tree, rng *rand.Rand, count, maxDepth, fanout int) {
+	for i := 0; i < count; i++ {
+		depth := 1 + rng.Intn(maxDepth)
+		path := make([]string, depth)
+		for d := range path {
+			path[d] = fmt.Sprintf("n%d", rng.Intn(fanout))
+		}
+		t.Insert(path)
+	}
+}
+
+// TestCSRTraversalMatchesPointerWalk is the property test of the flat
+// representation: on randomized, incrementally grown trees, the CSR
+// walks visit nodes in exactly the order of the old level-slice
+// pointer walk, and the CSR invariants hold.
+func TestCSRTraversalMatchesPointerWalk(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		// Grow in several rounds so the lazy rebuild is exercised on
+		// a tree that changed between walks.
+		for round := 0; round < 3; round++ {
+			randomGrow(tr, rng, 50+rng.Intn(100), 1+rng.Intn(5), 2+rng.Intn(6))
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+
+			var gotBU []int
+			tr.WalkBottomUp(func(n *Node) { gotBU = append(gotBU, n.ID) })
+			wantBU := refBottomUp(tr)
+			if len(gotBU) != len(wantBU) {
+				t.Fatalf("seed %d: bottom-up length %d vs %d", seed, len(gotBU), len(wantBU))
+			}
+			for i := range wantBU {
+				if gotBU[i] != wantBU[i] {
+					t.Fatalf("seed %d: bottom-up order diverges at %d: got %d want %d",
+						seed, i, gotBU[i], wantBU[i])
+				}
+			}
+
+			var gotTD []int
+			tr.WalkTopDown(func(n *Node) { gotTD = append(gotTD, n.ID) })
+			wantTD := refTopDown(tr)
+			for i := range wantTD {
+				if gotTD[i] != wantTD[i] {
+					t.Fatalf("seed %d: top-down order diverges at %d: got %d want %d",
+						seed, i, gotTD[i], wantTD[i])
+				}
+			}
+
+			// The raw CSR arrays agree with the walks.
+			csr := tr.CSR()
+			for i, id := range csr.BottomUp {
+				if int(id) != gotBU[i] {
+					t.Fatalf("seed %d: CSR.BottomUp[%d] = %d, walk visited %d", seed, i, id, gotBU[i])
+				}
+			}
+			for i, id := range csr.TopDown {
+				if int(id) != gotTD[i] {
+					t.Fatalf("seed %d: CSR.TopDown[%d] = %d, walk visited %d", seed, i, id, gotTD[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInternMatchesInsert checks that Intern returns the same IDs as
+// the Key-based path and allocates nothing once nodes exist.
+func TestInternMatchesInsert(t *testing.T) {
+	tr := New()
+	paths := [][]string{
+		{"a"}, {"a", "b"}, {"a", "b", "c"}, {"d"}, {"d", "e"}, {},
+	}
+	for _, p := range paths {
+		if got, want := tr.Intern(p), tr.Insert(p).ID; got != want {
+			t.Fatalf("Intern(%v) = %d, Insert = %d", p, got, want)
+		}
+		if got, want := tr.Intern(p), tr.InsertKey(KeyOf(p)).ID; got != want {
+			t.Fatalf("Intern(%v) = %d, InsertKey = %d", p, got, want)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	warm := [][]string{{"a", "b", "c"}, {"d", "e"}, {"a"}}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range warm {
+			tr.Intern(p)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Intern allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCSRSharedUntilGrowth ensures the cached arrays are reused while
+// the tree is stable (same backing, no rebuild) and refreshed after an
+// insert.
+func TestCSRSharedUntilGrowth(t *testing.T) {
+	tr := New()
+	tr.Insert([]string{"x", "y"})
+	a := tr.CSR()
+	b := tr.CSR()
+	if &a.BottomUp[0] != &b.BottomUp[0] {
+		t.Fatal("CSR rebuilt without growth")
+	}
+	tr.Insert([]string{"x", "z"})
+	c := tr.CSR()
+	if len(c.BottomUp) != tr.Len() {
+		t.Fatalf("CSR not refreshed after growth: %d ids, %d nodes", len(c.BottomUp), tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

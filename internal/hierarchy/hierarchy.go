@@ -7,6 +7,28 @@
 // nodes aggregate their descendants. The Tree type here grows
 // dynamically as unseen categories arrive, which matches the online
 // setting: the category universe is not known up front.
+//
+// # Flat (CSR) representation
+//
+// Alongside the pointer-linked Node objects, Tree maintains a flat
+// CSR-style view of the topology for the per-timeunit hot path:
+//
+//   - Parent[id] is the parent's node ID (-1 for the root);
+//   - the children of id are ChildIDs[ChildOff[id]:ChildOff[id+1]],
+//     in insertion order;
+//   - TopDown lists every node ID in level order (root first, and in
+//     insertion order within a level), BottomUp in inverse level order
+//     (deepest level first, root last).
+//
+// The arrays are rebuilt lazily — CSR() reuses the cached build until
+// the tree has grown — so steady-state traffic, where the category
+// universe has stabilized, walks plain int32 slices with no pointer
+// chasing and no per-node closure calls. Invariants (ID-indexed
+// arrays, offsets summing to Len()-1 edges, both orders being
+// depth-consistent permutations) are checked by Validate.
+//
+// Record paths can skip the string Key encoding entirely: Intern maps
+// a path directly to its node ID, creating nodes on first sight.
 package hierarchy
 
 import (
@@ -123,6 +145,27 @@ type Tree struct {
 	nodes  []*Node       // all nodes, indexed by ID
 	byKey  map[Key]*Node // key → node
 	levels [][]*Node     // nodes grouped by depth, insertion order
+
+	// flat is the cached CSR view, valid while flatLen == len(nodes).
+	flat    CSR
+	flatLen int
+}
+
+// CSR is the flat, dense-ID view of the tree topology (see the package
+// doc). The slices are owned by the Tree and valid until the next
+// insertion; callers must not mutate or retain them across growth.
+type CSR struct {
+	// Parent maps node ID → parent ID; Parent[root] = -1.
+	Parent []int32
+	// ChildOff/ChildIDs encode children adjacency: the children of id
+	// are ChildIDs[ChildOff[id]:ChildOff[id+1]], in insertion order.
+	ChildOff []int32
+	ChildIDs []int32
+	// TopDown holds every node ID in level order (root first); BottomUp
+	// in inverse level order (deepest first, root last). Within a
+	// level both use insertion order, matching WalkTopDown/WalkBottomUp.
+	TopDown  []int32
+	BottomUp []int32
 }
 
 // New returns an empty tree containing only the root node.
@@ -202,6 +245,76 @@ func (t *Tree) InsertKey(k Key) *Node {
 	return t.Insert(k.Path())
 }
 
+// Intern maps a category path directly to its node ID, creating the
+// node (and missing ancestors) on first sight. In the steady state —
+// every component already known — it performs one map lookup per
+// component and allocates nothing, so record ingestion never touches
+// the string Key encoding.
+func (t *Tree) Intern(path []string) int {
+	return t.Insert(path).ID
+}
+
+// CSR returns the flat traversal view of the tree, rebuilding the
+// cached arrays only when the tree has grown since the last call. The
+// returned value is shared and valid until the next insertion.
+func (t *Tree) CSR() *CSR {
+	if t.flatLen != len(t.nodes) {
+		t.rebuildCSR()
+	}
+	return &t.flat
+}
+
+// rebuildCSR materializes the CSR arrays from the node objects in
+// O(Len()) time and with at most one allocation per array (amortized
+// zero once capacities stabilize).
+func (t *Tree) rebuildCSR() {
+	n := len(t.nodes)
+	f := &t.flat
+	f.Parent = growInt32(f.Parent, n)
+	f.ChildOff = growInt32(f.ChildOff, n+1)
+	f.ChildIDs = growInt32(f.ChildIDs, n-1)
+	f.TopDown = growInt32(f.TopDown, n)
+	f.BottomUp = growInt32(f.BottomUp, n)
+
+	off := int32(0)
+	for id, node := range t.nodes {
+		if node.parent == nil {
+			f.Parent[id] = -1
+		} else {
+			f.Parent[id] = int32(node.parent.ID)
+		}
+		f.ChildOff[id] = off
+		for _, c := range node.ordered {
+			f.ChildIDs[off] = int32(c.ID)
+			off++
+		}
+	}
+	f.ChildOff[n] = off
+
+	i, j := 0, n
+	for _, level := range t.levels {
+		j -= len(level)
+		for k, node := range level {
+			f.TopDown[i] = int32(node.ID)
+			f.BottomUp[j+k] = int32(node.ID)
+			i++
+		}
+	}
+	t.flatLen = n
+}
+
+// growInt32 returns a slice of exactly length n, reusing s's backing
+// array when it is large enough.
+func growInt32(s []int32, n int) []int32 {
+	if n < 0 {
+		n = 0
+	}
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n, n+n/2+8)
+}
+
 // AtDepth returns all nodes at the given depth in insertion order. The
 // returned slice is shared; callers must not mutate it.
 func (t *Tree) AtDepth(depth int) []*Node {
@@ -218,22 +331,20 @@ func (t *Tree) Nodes() []*Node { return t.nodes }
 // WalkBottomUp visits every node in inverse level order: deepest level
 // first, root last. Within a level, nodes are visited in insertion
 // order. This is the traversal used by the SHHH computation and by
-// ADA's merge pass.
+// ADA's merge pass. It iterates the materialized BottomUp ID order, so
+// the visit order is by construction identical to the flat CSR walk.
 func (t *Tree) WalkBottomUp(fn func(n *Node)) {
-	for d := len(t.levels) - 1; d >= 0; d-- {
-		for _, n := range t.levels[d] {
-			fn(n)
-		}
+	for _, id := range t.CSR().BottomUp {
+		fn(t.nodes[id])
 	}
 }
 
 // WalkTopDown visits every node in level order: root first. This is
-// the traversal used by ADA's split pass.
+// the traversal used by ADA's split pass. It iterates the materialized
+// TopDown ID order.
 func (t *Tree) WalkTopDown(fn func(n *Node)) {
-	for d := 0; d < len(t.levels); d++ {
-		for _, n := range t.levels[d] {
-			fn(n)
-		}
+	for _, id := range t.CSR().TopDown {
+		fn(t.nodes[id])
 	}
 }
 
@@ -301,6 +412,59 @@ func (t *Tree) Validate() error {
 	}
 	if total != len(t.nodes) {
 		return fmt.Errorf("hierarchy: levels hold %d nodes, tree has %d", total, len(t.nodes))
+	}
+	return t.validateCSR()
+}
+
+// validateCSR checks the flat-view invariants documented on CSR: array
+// lengths, parent links, child ranges mirroring Node.Children, and the
+// two traversal orders being depth-consistent permutations.
+func (t *Tree) validateCSR() error {
+	f := t.CSR()
+	n := len(t.nodes)
+	if len(f.Parent) != n || len(f.TopDown) != n || len(f.BottomUp) != n {
+		return fmt.Errorf("hierarchy: CSR arrays sized %d/%d/%d, tree has %d nodes",
+			len(f.Parent), len(f.TopDown), len(f.BottomUp), n)
+	}
+	if len(f.ChildOff) != n+1 || len(f.ChildIDs) != n-1 {
+		return fmt.Errorf("hierarchy: CSR adjacency sized off=%d ids=%d, want %d/%d",
+			len(f.ChildOff), len(f.ChildIDs), n+1, n-1)
+	}
+	for id, node := range t.nodes {
+		switch {
+		case node.parent == nil && f.Parent[id] != -1:
+			return fmt.Errorf("hierarchy: CSR parent of root %q is %d, want -1", node.Key, f.Parent[id])
+		case node.parent != nil && int(f.Parent[id]) != node.parent.ID:
+			return fmt.Errorf("hierarchy: CSR parent of %q is %d, want %d", node.Key, f.Parent[id], node.parent.ID)
+		}
+		lo, hi := f.ChildOff[id], f.ChildOff[id+1]
+		if int(hi-lo) != len(node.ordered) {
+			return fmt.Errorf("hierarchy: CSR child range of %q holds %d IDs, node has %d children",
+				node.Key, hi-lo, len(node.ordered))
+		}
+		for i, c := range node.ordered {
+			if int(f.ChildIDs[lo+int32(i)]) != c.ID {
+				return fmt.Errorf("hierarchy: CSR child %d of %q is %d, want %d",
+					i, node.Key, f.ChildIDs[lo+int32(i)], c.ID)
+			}
+		}
+	}
+	for name, order := range map[string][]int32{"TopDown": f.TopDown, "BottomUp": f.BottomUp} {
+		seen := make([]bool, n)
+		for _, id := range order {
+			if id < 0 || int(id) >= n || seen[id] {
+				return fmt.Errorf("hierarchy: CSR %s is not a permutation (id %d)", name, id)
+			}
+			seen[id] = true
+		}
+	}
+	for i := 1; i < n; i++ {
+		if t.nodes[f.TopDown[i]].Depth < t.nodes[f.TopDown[i-1]].Depth {
+			return fmt.Errorf("hierarchy: CSR TopDown not in level order at %d", i)
+		}
+		if t.nodes[f.BottomUp[i]].Depth > t.nodes[f.BottomUp[i-1]].Depth {
+			return fmt.Errorf("hierarchy: CSR BottomUp not in inverse level order at %d", i)
+		}
 	}
 	return nil
 }

@@ -68,11 +68,26 @@ func (r *Ring) Last() (float64, bool) {
 
 // Values copies the live samples oldest-first into a new slice.
 func (r *Ring) Values() []float64 {
-	out := make([]float64, r.n)
-	for i := 0; i < r.n; i++ {
-		out[i] = r.At(i)
+	return r.ValuesInto(nil)
+}
+
+// ValuesInto copies the live samples oldest-first into dst, reusing
+// its backing array when it is large enough, and returns the filled
+// slice of length Len(). Passing the previous return value makes
+// repeated extraction allocation-free.
+func (r *Ring) ValuesInto(dst []float64) []float64 {
+	if cap(dst) < r.n {
+		dst = make([]float64, r.n)
+	} else {
+		dst = dst[:r.n]
 	}
-	return out
+	first := len(r.data) - r.head
+	if first > r.n {
+		first = r.n
+	}
+	copy(dst, r.data[r.head:r.head+first])
+	copy(dst[first:], r.data[:r.n-first])
+	return dst
 }
 
 // Scale multiplies every sample by f in place. Used by ADA's SPLIT,
@@ -88,27 +103,59 @@ func (r *Ring) Scale(f float64) {
 // Both rings must have the same capacity; the receiver's length
 // becomes the max of the two. Used by ADA's MERGE.
 func (r *Ring) AddRing(other *Ring) error {
+	return r.addScaled(other, 1)
+}
+
+// SubRing subtracts other's samples elementwise, aligning
+// newest-to-newest, under the same shape rules as AddRing. Used by
+// ADA's reference-series repair (§V-B5) in place of clone-negate-add.
+func (r *Ring) SubRing(other *Ring) error {
+	return r.addScaled(other, -1)
+}
+
+// addScaled adds f·other into r with newest-to-newest alignment. The
+// index arithmetic wraps incrementally instead of taking a modulus per
+// sample — this loop runs once per retained sample on every MERGE, so
+// it is one of the hottest in the engine.
+func (r *Ring) addScaled(other *Ring, f float64) error {
 	if other == nil {
 		return nil
 	}
 	if len(r.data) != len(other.data) {
 		return fmt.Errorf("%w: cap %d vs %d", ErrShape, len(r.data), len(other.data))
 	}
+	size := len(r.data)
 	if other.n > r.n {
 		// Grow the receiver with leading zeros so alignment by
 		// newest sample is preserved.
 		grow := other.n - r.n
-		r.head = (r.head - grow + len(r.data)*2) % len(r.data)
+		r.head = (r.head - grow + size*2) % size
+		idx := r.head
 		for i := 0; i < grow; i++ {
-			r.data[(r.head+i)%len(r.data)] = 0
+			r.data[idx] = 0
+			idx++
+			if idx == size {
+				idx = 0
+			}
 		}
 		r.n = other.n
 	}
+	// Align other's oldest sample with the matching slot of r.
+	ri := r.head + r.n - other.n
+	if ri >= size {
+		ri -= size
+	}
+	oi := other.head
 	for i := 0; i < other.n; i++ {
-		// Align i-th-from-newest.
-		ri := r.n - 1 - i
-		oi := other.n - 1 - i
-		r.data[(r.head+ri)%len(r.data)] += other.data[(other.head+oi)%len(other.data)]
+		r.data[ri] += f * other.data[oi]
+		ri++
+		if ri == size {
+			ri = 0
+		}
+		oi++
+		if oi == size {
+			oi = 0
+		}
 	}
 	return nil
 }
@@ -118,6 +165,24 @@ func (r *Ring) Clone() *Ring {
 	c := &Ring{data: make([]float64, len(r.data)), head: r.head, n: r.n}
 	copy(c.data, r.data)
 	return c
+}
+
+// Reset empties the ring in place, keeping its capacity. Used when a
+// pooled ring is reused.
+func (r *Ring) Reset() {
+	r.head, r.n = 0, 0
+}
+
+// CopyFrom overwrites the receiver with other's contents. Both rings
+// must have the same capacity. Together with a free list it replaces
+// Clone on the split hot path.
+func (r *Ring) CopyFrom(other *Ring) error {
+	if len(r.data) != len(other.data) {
+		return fmt.Errorf("%w: cap %d vs %d", ErrShape, len(r.data), len(other.data))
+	}
+	copy(r.data, other.data)
+	r.head, r.n = other.head, other.n
+	return nil
 }
 
 // SetValues replaces the ring contents with vs (oldest-first). If vs

@@ -56,31 +56,74 @@ func (r *Result) IsHH(n *hierarchy.Node) bool {
 // Definition 2). Nodes must already exist in the tree for every key in
 // counts; use Tree.InsertKey beforehand.
 func Compute(t *hierarchy.Tree, counts Counts, theta float64) *Result {
-	r := &Result{
-		Theta: theta,
-		A:     make([]float64, t.Len()),
-		W:     make([]float64, t.Len()),
-		InSet: make([]bool, t.Len()),
+	return ComputeInto(t, counts, theta, nil)
+}
+
+// ComputeInto is Compute reusing r's slices as scratch (r may be nil,
+// which allocates a fresh Result). Repeated calls with the same Result
+// and a stable tree are allocation-free; the previous contents of r
+// are overwritten.
+func ComputeInto(t *hierarchy.Tree, counts Counts, theta float64, r *Result) *Result {
+	if r == nil {
+		r = &Result{}
 	}
+	n := t.Len()
+	r.Theta = theta
+	r.A = growFloats(r.A, n)
+	r.W = growFloats(r.W, n)
+	r.InSet = growBools(r.InSet, n)
+	r.Set = r.Set[:0]
 	for k, v := range counts {
-		if n := t.Lookup(k); n != nil {
-			r.A[n.ID] += v
-			r.W[n.ID] += v
+		if nd := t.Lookup(k); nd != nil {
+			r.A[nd.ID] += v
+			r.W[nd.ID] += v
 		}
 	}
-	t.WalkBottomUp(func(n *hierarchy.Node) {
-		for _, c := range n.Children() {
-			r.A[n.ID] += r.A[c.ID]
-			if !r.InSet[c.ID] {
-				r.W[n.ID] += r.W[c.ID]
+	// Closure-free bottom-up sweep over the flat CSR view.
+	csr := t.CSR()
+	for _, id32 := range csr.BottomUp {
+		id := int(id32)
+		aw, w := r.A[id], r.W[id]
+		for j := csr.ChildOff[id]; j < csr.ChildOff[id+1]; j++ {
+			c := csr.ChildIDs[j]
+			aw += r.A[c]
+			if !r.InSet[c] {
+				w += r.W[c]
 			}
 		}
-		if r.W[n.ID] >= theta {
-			r.InSet[n.ID] = true
-			r.Set = append(r.Set, n)
+		r.A[id], r.W[id] = aw, w
+		if w >= theta {
+			r.InSet[id] = true
+			r.Set = append(r.Set, t.Node(id))
 		}
-	})
+	}
 	return r
+}
+
+// growFloats returns a zeroed slice of length n, reusing s's backing
+// array when possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growBools returns a cleared slice of length n, reusing s's backing
+// array when possible.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // ComputeHHH derives the plain (non-succinct) HHH set of Definition 1:
@@ -99,17 +142,27 @@ func ComputeHHH(t *hierarchy.Tree, counts Counts, theta float64) []*hierarchy.No
 // Aggregate computes the raw weight An for every node: direct count
 // plus descendant counts.
 func Aggregate(t *hierarchy.Tree, counts Counts) []float64 {
-	a := make([]float64, t.Len())
+	return AggregateInto(t, counts, nil)
+}
+
+// AggregateInto is Aggregate writing into dst, reusing its backing
+// array when it is large enough.
+func AggregateInto(t *hierarchy.Tree, counts Counts, dst []float64) []float64 {
+	a := growFloats(dst, t.Len())
 	for k, v := range counts {
 		if n := t.Lookup(k); n != nil {
 			a[n.ID] += v
 		}
 	}
-	t.WalkBottomUp(func(n *hierarchy.Node) {
-		for _, c := range n.Children() {
-			a[n.ID] += a[c.ID]
+	csr := t.CSR()
+	for _, id32 := range csr.BottomUp {
+		id := int(id32)
+		sum := a[id]
+		for j := csr.ChildOff[id]; j < csr.ChildOff[id+1]; j++ {
+			sum += a[csr.ChildIDs[j]]
 		}
-	})
+		a[id] = sum
+	}
 	return a
 }
 
@@ -121,19 +174,31 @@ func Aggregate(t *hierarchy.Tree, counts Counts) []float64 {
 // node ID and may be shorter than the tree (new nodes default to not
 // in the set).
 func FrozenWeights(t *hierarchy.Tree, counts Counts, inSet []bool) []float64 {
-	w := make([]float64, t.Len())
+	return FrozenWeightsInto(t, counts, inSet, nil)
+}
+
+// FrozenWeightsInto is FrozenWeights writing into dst, reusing its
+// backing array when it is large enough. STA calls this once per
+// retained timeunit per instance, so scratch reuse removes its
+// dominant allocation source.
+func FrozenWeightsInto(t *hierarchy.Tree, counts Counts, inSet []bool, dst []float64) []float64 {
+	w := growFloats(dst, t.Len())
 	for k, v := range counts {
 		if n := t.Lookup(k); n != nil {
 			w[n.ID] += v
 		}
 	}
-	frozen := func(id int) bool { return id < len(inSet) && inSet[id] }
-	t.WalkBottomUp(func(n *hierarchy.Node) {
-		for _, c := range n.Children() {
-			if !frozen(c.ID) {
-				w[n.ID] += w[c.ID]
+	csr := t.CSR()
+	for _, id32 := range csr.BottomUp {
+		id := int(id32)
+		sum := w[id]
+		for j := csr.ChildOff[id]; j < csr.ChildOff[id+1]; j++ {
+			c := int(csr.ChildIDs[j])
+			if c >= len(inSet) || !inSet[c] {
+				sum += w[c]
 			}
 		}
-	})
+		w[id] = sum
+	}
 	return w
 }

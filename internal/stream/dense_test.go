@@ -1,0 +1,234 @@
+package stream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tiresias/internal/hierarchy"
+)
+
+func denseStart() time.Time {
+	return time.Date(2012, 6, 18, 0, 0, 0, 0, time.UTC)
+}
+
+// TestObserveDenseMatchesObserve feeds the same record sequence
+// through both emission modes and checks unit boundaries and counts
+// agree.
+func TestObserveDenseMatchesObserve(t *testing.T) {
+	recs := []Record{
+		{Path: []string{"a", "x"}, Time: denseStart()},
+		{Path: []string{"a", "x"}, Time: denseStart().Add(20 * time.Second)},
+		{Path: []string{"a", "y"}, Time: denseStart().Add(70 * time.Second)},
+		{Path: []string{"b"}, Time: denseStart().Add(200 * time.Second)},
+		{Path: []string{"a", "x"}, Time: denseStart().Add(305 * time.Second)},
+	}
+	wm, err := NewWindower(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := hierarchy.New()
+	wd, err := NewWindower(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.BindTree(tree)
+	for _, r := range recs {
+		mapDone, err := wm.Observe(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		denseDone, err := wd.ObserveDense(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mapDone) != len(denseDone) {
+			t.Fatalf("record %v: %d map units vs %d dense units", r.Time, len(mapDone), len(denseDone))
+		}
+		for i := range mapDone {
+			back := denseDone[i].Timeunit(tree)
+			if len(back) != len(mapDone[i]) {
+				t.Fatalf("unit %d: %d keys vs %d", i, len(back), len(mapDone[i]))
+			}
+			for k, v := range mapDone[i] {
+				if back[k] != v {
+					t.Fatalf("unit %d key %q: %v vs %v", i, k, back[k], v)
+				}
+			}
+		}
+	}
+	mu := wm.Flush()
+	du := wd.FlushDense().Timeunit(tree)
+	if len(mu) != len(du) {
+		t.Fatalf("flush: %d keys vs %d", len(mu), len(du))
+	}
+	for k, v := range mu {
+		if du[k] != v {
+			t.Fatalf("flush key %q: %v vs %v", k, du[k], v)
+		}
+	}
+}
+
+// TestObserveDenseRecycles checks emitted units are pooled: after the
+// next dense call, previously returned units are reset and reused.
+func TestObserveDenseRecycles(t *testing.T) {
+	tree := hierarchy.New()
+	w, err := NewWindower(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BindTree(tree)
+	at := denseStart()
+	if _, err := w.ObserveDense(Record{Path: []string{"a"}, Time: at}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := w.ObserveDense(Record{Path: []string{"a"}, Time: at.Add(time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0].Total() != 1 {
+		t.Fatalf("expected one completed unit with total 1, got %d units", len(done))
+	}
+	first := done[0]
+	// Crossing two more boundaries must reuse the recycled unit.
+	done, err = w.ObserveDense(Record{Path: []string{"a"}, Time: at.Add(3 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("expected 2 completed units, got %d", len(done))
+	}
+	reused := false
+	for _, u := range done {
+		if u == first {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Fatal("emitted unit was not recycled into the pool")
+	}
+}
+
+// TestObserveDenseSteadyStateAllocs is the Windower.Observe allocation
+// guard: once the pools are warm, classifying a record — including
+// boundary crossings — allocates nothing.
+func TestObserveDenseSteadyStateAllocs(t *testing.T) {
+	tree := hierarchy.New()
+	w, err := NewWindower(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BindTree(tree)
+	paths := [][]string{{"a", "x"}, {"a", "y"}, {"b"}}
+	at := denseStart()
+	step := 0
+	observe := func() {
+		at = at.Add(7 * time.Second) // crosses a boundary every ~9 records
+		r := Record{Path: paths[step%len(paths)], Time: at}
+		step++
+		if _, err := w.ObserveDense(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		observe() // warm the pools and intern the paths
+	}
+	allocs := testing.AllocsPerRun(500, observe)
+	if allocs != 0 {
+		t.Fatalf("steady-state ObserveDense allocates %.2f per op, want 0", allocs)
+	}
+}
+
+// TestObserveDenseRequiresBind checks the dense mode guards its
+// precondition.
+func TestObserveDenseRequiresBind(t *testing.T) {
+	w, err := NewWindower(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ObserveDense(Record{Path: []string{"a"}, Time: denseStart()}); err == nil {
+		t.Fatal("ObserveDense without BindTree must error")
+	}
+}
+
+// TestWindowerMaxGap checks the gap bound on both modes: the record is
+// rejected with ErrMaxGap, no state is mutated, and sane records keep
+// working.
+func TestWindowerMaxGap(t *testing.T) {
+	for _, mode := range []string{"map", "dense"} {
+		w, err := NewWindower(time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetMaxGap(10)
+		if got := w.MaxGap(); got != 10 {
+			t.Fatalf("MaxGap() = %d", got)
+		}
+		tree := hierarchy.New()
+		observe := func(r Record) error {
+			if mode == "dense" {
+				_, err := w.ObserveDense(r)
+				return err
+			}
+			_, err := w.Observe(r)
+			return err
+		}
+		if mode == "dense" {
+			w.BindTree(tree)
+		}
+		if err := observe(Record{Path: []string{"a"}, Time: denseStart()}); err != nil {
+			t.Fatal(err)
+		}
+		// Within the bound: fine.
+		if err := observe(Record{Path: []string{"a"}, Time: denseStart().Add(9 * time.Minute)}); err != nil {
+			t.Fatalf("%s: in-bound gap rejected: %v", mode, err)
+		}
+		// Past the bound: ErrMaxGap, and the windower stays usable.
+		err = observe(Record{Path: []string{"a"}, Time: denseStart().Add(500 * time.Minute)})
+		if !errors.Is(err, ErrMaxGap) {
+			t.Fatalf("%s: far-future record error = %v, want ErrMaxGap", mode, err)
+		}
+		if !strings.Contains(err.Error(), "timeunits past") {
+			t.Fatalf("%s: error not descriptive: %v", mode, err)
+		}
+		if err := observe(Record{Path: []string{"a"}, Time: denseStart().Add(10 * time.Minute)}); err != nil {
+			t.Fatalf("%s: windower unusable after rejection: %v", mode, err)
+		}
+	}
+}
+
+// TestWindowerMaxGapLargeDelta pins the overflow guard: with a
+// multi-day delta, maxGap*delta would overflow a Duration; the
+// unit-count comparison must still accept ordinary records.
+func TestWindowerMaxGapLargeDelta(t *testing.T) {
+	w, err := NewWindower(36 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetMaxGap(100_000) // tiresias.DefaultMaxGap
+	if _, err := w.Observe(Record{Path: []string{"a"}, Time: denseStart()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(Record{Path: []string{"a"}, Time: denseStart().Add(40 * time.Hour)}); err != nil {
+		t.Fatalf("ordinary record rejected under large delta: %v", err)
+	}
+}
+
+// TestWindowerMaxGapDisabled checks n <= 0 keeps unbounded filling.
+func TestWindowerMaxGapDisabled(t *testing.T) {
+	w, err := NewWindower(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(Record{Path: []string{"a"}, Time: denseStart()}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := w.Observe(Record{Path: []string{"a"}, Time: denseStart().Add(1000 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1000 {
+		t.Fatalf("unbounded gap filled %d units, want 1000", len(done))
+	}
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCSVishSourceTimestampCache checks that records sharing a
+// timestamp string parse correctly through the cached path and that a
+// timestamp change invalidates the cache.
+func TestCSVishSourceTimestampCache(t *testing.T) {
+	in := strings.Join([]string{
+		"2012-06-18T10:00:00Z,a/x",
+		"2012-06-18T10:00:00Z,a/y", // same second: cached parse
+		"2012-06-18T10:00:00Z,b",
+		"2012-06-18T10:00:01Z,a/x", // new second: fresh parse
+		"2012-06-18T10:00:00Z,late", // repeated older prefix must still parse right
+	}, "\n")
+	src := NewCSVishSource(strings.NewReader(in))
+	want := []struct {
+		sec  int
+		path string
+	}{
+		{0, "a/x"}, {0, "a/y"}, {0, "b"}, {1, "a/x"}, {0, "late"},
+	}
+	base := time.Date(2012, 6, 18, 10, 0, 0, 0, time.UTC)
+	for i, w := range want {
+		r, err := src.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !r.Time.Equal(base.Add(time.Duration(w.sec) * time.Second)) {
+			t.Fatalf("record %d time = %v, want +%ds", i, r.Time, w.sec)
+		}
+		if got := strings.Join(r.Path, "/"); got != w.path {
+			t.Fatalf("record %d path = %q, want %q", i, got, w.path)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestCSVishSourceSteadyAllocsDropped checks the line path no longer
+// copies every line into a fresh string: reading a same-second record
+// costs only the unavoidable Path allocations.
+func TestCSVishSourceSteadyAllocs(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "2012-06-18T10:00:00Z,a/x\n")
+	}
+	src := NewCSVishSource(strings.NewReader(sb.String()))
+	// Path construction allocates (one string + one slice); the line
+	// itself and the timestamp must not.
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("CSVish Next allocates %.2f per record, want <= 2 (path only)", allocs)
+	}
+}
+
+// TestCSVishSourceEmptyTimestamp pins the parse-cache guard: an empty
+// timestamp before the comma must be a parse error, not a cache hit
+// against the initially empty cache.
+func TestCSVishSourceEmptyTimestamp(t *testing.T) {
+	src := NewCSVishSource(strings.NewReader(",a/b\n"))
+	if _, err := src.Next(); err == nil {
+		t.Fatal("empty timestamp on the first line must error")
+	}
+}
+
+// TestLineReaderLongLines checks lines larger than the bufio buffer
+// are reassembled, and lines past the 4 MiB cap error out.
+func TestLineReaderLongLines(t *testing.T) {
+	long := strings.Repeat("x", 100*1024) // > 64 KiB reader buffer
+	in := "2012-06-18T10:00:00Z," + long + "\n2012-06-18T10:00:01Z,ok\n"
+	src := NewCSVishSource(strings.NewReader(in))
+	r, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Path) != 1 || len(r.Path[0]) != len(long) {
+		t.Fatalf("long line mangled: %d path components", len(r.Path))
+	}
+	r, err = src.Next()
+	if err != nil || r.Path[0] != "ok" {
+		t.Fatalf("record after long line = %v, %v", r.Path, err)
+	}
+
+	tooLong := strings.Repeat("y", maxLineLen+2)
+	src = NewCSVishSource(strings.NewReader("2012-06-18T10:00:00Z," + tooLong + "\n2012-06-18T10:00:01Z,tail\n"))
+	if _, err := src.Next(); err == nil {
+		t.Fatal("line past maxLineLen must error")
+	}
+	// The error is sticky: the tail of the oversized line (and
+	// anything after it) must not surface as fresh records.
+	if _, err := src.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized-line error not sticky: %v", err)
+	}
+}
+
+// TestJSONLSourceNoTrailingNewline checks the final unterminated line
+// still parses (ReadSlice returns it with io.EOF).
+func TestJSONLSourceNoTrailingNewline(t *testing.T) {
+	in := `{"path":["a"],"time":"2012-06-18T10:00:00Z"}` + "\n" +
+		`{"path":["b"],"time":"2012-06-18T10:00:01Z"}` // no trailing \n
+	src := NewJSONLSource(strings.NewReader(in))
+	for i, want := range []string{"a", "b"} {
+		r, err := src.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if r.Path[0] != want {
+			t.Fatalf("record %d path = %v", i, r.Path)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

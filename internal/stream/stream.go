@@ -6,6 +6,7 @@ package stream
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,79 +63,153 @@ func (s *SliceSource) Next() (Record, error) {
 	return r, nil
 }
 
+// maxLineLen bounds a single input line, matching the limit the
+// previous bufio.Scanner configuration enforced.
+const maxLineLen = 4 * 1024 * 1024
+
+// lineReader yields one line at a time as a byte slice that is only
+// valid until the next call — the common case returns a window into
+// the bufio.Reader's internal buffer, so reading a line allocates
+// nothing (unlike Scanner.Text(), which copies every line into a new
+// string).
+type lineReader struct {
+	br   *bufio.Reader
+	line int    // 1-based number of the line most recently returned
+	buf  []byte // spill buffer for lines longer than the reader buffer
+	fail error  // sticky: an oversized line poisons the stream
+}
+
+func newLineReader(r io.Reader) lineReader {
+	return lineReader{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// next returns the next line (without the trailing newline) or io.EOF.
+// An oversized-line error is sticky — the tail of the bad line must
+// not be re-parsed as fresh records (matching the latched-error
+// behavior of the bufio.Scanner this replaces).
+func (l *lineReader) next() ([]byte, error) {
+	if l.fail != nil {
+		return nil, l.fail
+	}
+	chunk, err := l.br.ReadSlice('\n')
+	switch {
+	case err == nil:
+		l.line++
+		return chunk[:len(chunk)-1], nil
+	case err == io.EOF:
+		if len(chunk) == 0 {
+			return nil, io.EOF
+		}
+		l.line++
+		return chunk, nil
+	case err != bufio.ErrBufferFull:
+		return nil, err
+	}
+	// Rare: the line exceeds the reader buffer; accumulate in spill.
+	l.buf = append(l.buf[:0], chunk...)
+	for {
+		chunk, err = l.br.ReadSlice('\n')
+		l.buf = append(l.buf, chunk...)
+		if len(l.buf) > maxLineLen {
+			l.fail = fmt.Errorf("stream: line %d longer than %d bytes", l.line+1, maxLineLen)
+			return nil, l.fail
+		}
+		switch {
+		case err == nil:
+			l.line++
+			return l.buf[:len(l.buf)-1], nil
+		case err == io.EOF:
+			l.line++
+			return l.buf, nil
+		case err != bufio.ErrBufferFull:
+			return nil, err
+		}
+	}
+}
+
 // JSONLSource reads one JSON-encoded Record per line.
 type JSONLSource struct {
-	sc   *bufio.Scanner
-	line int
+	lr lineReader
 }
 
 var _ Source = (*JSONLSource)(nil)
 
 // NewJSONLSource wraps a reader producing JSON-lines records.
 func NewJSONLSource(r io.Reader) *JSONLSource {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	return &JSONLSource{sc: sc}
+	return &JSONLSource{lr: newLineReader(r)}
 }
 
 // Next implements Source.
 func (s *JSONLSource) Next() (Record, error) {
-	for s.sc.Scan() {
-		s.line++
-		line := strings.TrimSpace(s.sc.Text())
-		if line == "" {
+	for {
+		line, err := s.lr.next()
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("stream: scan: %w", err)
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
 			continue
 		}
 		var r Record
-		if err := json.Unmarshal([]byte(line), &r); err != nil {
-			return Record{}, fmt.Errorf("stream: line %d: %w", s.line, err)
+		if err := json.Unmarshal(line, &r); err != nil {
+			return Record{}, fmt.Errorf("stream: line %d: %w", s.lr.line, err)
 		}
 		return r, nil
 	}
-	if err := s.sc.Err(); err != nil {
-		return Record{}, fmt.Errorf("stream: scan: %w", err)
-	}
-	return Record{}, io.EOF
 }
 
 // CSVishSource reads records in "RFC3339,comp1/comp2/..." form, the
-// compact format emitted by cmd/tiresias-gen.
+// compact format emitted by cmd/tiresias-gen. Consecutive records
+// sharing a timestamp string — the norm for second-resolution feeds —
+// parse the time only once.
 type CSVishSource struct {
-	sc   *bufio.Scanner
-	line int
+	lr       lineReader
+	lastTS   []byte // timestamp prefix of the most recent parse
+	lastTime time.Time
 }
 
 var _ Source = (*CSVishSource)(nil)
 
 // NewCSVishSource wraps a reader of "time,path" lines.
 func NewCSVishSource(r io.Reader) *CSVishSource {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	return &CSVishSource{sc: sc}
+	return &CSVishSource{lr: newLineReader(r)}
 }
 
 // Next implements Source.
 func (s *CSVishSource) Next() (Record, error) {
-	for s.sc.Scan() {
-		s.line++
-		line := strings.TrimSpace(s.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	for {
+		raw, err := s.lr.next()
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("stream: scan: %w", err)
+		}
+		line := bytes.TrimSpace(raw)
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		comma := strings.IndexByte(line, ',')
+		comma := bytes.IndexByte(line, ',')
 		if comma < 0 {
-			return Record{}, fmt.Errorf("stream: line %d: missing comma", s.line)
+			return Record{}, fmt.Errorf("stream: line %d: missing comma", s.lr.line)
 		}
-		ts, err := time.Parse(time.RFC3339, line[:comma])
-		if err != nil {
-			return Record{}, fmt.Errorf("stream: line %d: %w", s.line, err)
+		tsb := line[:comma]
+		var ts time.Time
+		if len(tsb) > 0 && bytes.Equal(tsb, s.lastTS) {
+			ts = s.lastTime
+		} else {
+			ts, err = time.Parse(time.RFC3339, string(tsb))
+			if err != nil {
+				return Record{}, fmt.Errorf("stream: line %d: %w", s.lr.line, err)
+			}
+			s.lastTS = append(s.lastTS[:0], tsb...)
+			s.lastTime = ts
 		}
-		return Record{Time: ts, Path: strings.Split(line[comma+1:], "/")}, nil
+		return Record{Time: ts, Path: strings.Split(string(line[comma+1:]), "/")}, nil
 	}
-	if err := s.sc.Err(); err != nil {
-		return Record{}, fmt.Errorf("stream: scan: %w", err)
-	}
-	return Record{}, io.EOF
 }
 
 // MarshalCSVish renders a record in the CSVish line format.
@@ -146,15 +221,34 @@ func MarshalCSVish(r Record) string {
 // timeunit floor.
 var ErrOutOfOrder = errors.New("stream: record out of time order")
 
+// ErrMaxGap is returned when a record's timestamp would force more
+// gap-filled empty timeunits than the configured MaxGap bound.
+var ErrMaxGap = errors.New("stream: record exceeds the max timeunit gap")
+
 // Windower classifies records into consecutive timeunits of size Δ
 // (Step 1 of Fig. 3). Feed records in time order with Observe; each
 // time a record crosses a timeunit boundary, the completed timeunits
 // are emitted (possibly several, when the stream has gaps).
+//
+// Two emission modes exist. The map mode (Observe/Flush) hands out
+// independent algo.Timeunit maps the caller may retain. The dense mode
+// (BindTree + ObserveDense/FlushDense) interns record paths into a
+// shared hierarchy and fills pooled algo.DenseUnits: returned units
+// are only valid until the next ObserveDense/FlushDense call, after
+// which they are recycled — the steady state allocates nothing. Use
+// one mode per Windower, not both.
 type Windower struct {
-	delta time.Duration
-	start time.Time
-	cur   algo.Timeunit
-	began bool
+	delta  time.Duration
+	start  time.Time
+	cur    algo.Timeunit
+	began  bool
+	maxGap int
+
+	// Dense mode.
+	tree *hierarchy.Tree
+	dcur *algo.DenseUnit   // unit currently being filled
+	dbuf []*algo.DenseUnit // units emitted by the last dense call
+	free []*algo.DenseUnit // recycled units
 }
 
 // NewWindower creates a Windower with timeunit size delta (> 0).
@@ -186,16 +280,54 @@ func (w *Windower) Delta() time.Duration { return w.delta }
 // zero time before any record is observed.
 func (w *Windower) Start() time.Time { return w.start }
 
+// SetMaxGap bounds how many timeunits a single record may
+// force-complete when its timestamp jumps past the current unit (gap
+// filling across quiet periods). One bad far-future timestamp would
+// otherwise fabricate one empty unit per elapsed Δ with no limit —
+// important when records arrive from an ingest endpoint. n <= 0
+// disables the bound (trusted feeds only).
+func (w *Windower) SetMaxGap(n int) { w.maxGap = n }
+
+// MaxGap returns the configured gap bound (0 = unbounded).
+func (w *Windower) MaxGap() int { return w.maxGap }
+
+// checkGap rejects a record whose timestamp is more than MaxGap
+// timeunits past the current unit's start, without mutating any
+// windowing state (the stream stays usable at sane timestamps).
+func (w *Windower) checkGap(at time.Time) error {
+	if w.maxGap <= 0 {
+		return nil
+	}
+	// Compare in units (gap/delta), not nanoseconds: maxGap*delta can
+	// overflow a Duration for large timeunit sizes.
+	if gap := at.Sub(w.start); gap/w.delta > time.Duration(w.maxGap) {
+		return fmt.Errorf("%w: record at %v is %d timeunits past the current unit start %v (MaxGap %d)",
+			ErrMaxGap, at, int(gap/w.delta), w.start, w.maxGap)
+	}
+	return nil
+}
+
+// anchor starts windowing at the first observed record and validates
+// time order and the gap bound for every one, mutating no state on
+// rejection. Shared by both emission modes so their semantics cannot
+// drift.
+func (w *Windower) anchor(at time.Time) error {
+	if !w.began {
+		w.start = at.Truncate(w.delta)
+		w.began = true
+	}
+	if at.Before(w.start) {
+		return fmt.Errorf("%w: %v < %v", ErrOutOfOrder, at, w.start)
+	}
+	return w.checkGap(at)
+}
+
 // Observe adds a record, returning every timeunit completed strictly
 // before the record's own unit (empty units are included so seasonal
 // indexing stays aligned).
 func (w *Windower) Observe(r Record) ([]algo.Timeunit, error) {
-	if !w.began {
-		w.start = r.Time.Truncate(w.delta)
-		w.began = true
-	}
-	if r.Time.Before(w.start) {
-		return nil, fmt.Errorf("%w: %v < %v", ErrOutOfOrder, r.Time, w.start)
+	if err := w.anchor(r.Time); err != nil {
+		return nil, err
 	}
 	var done []algo.Timeunit
 	for !r.Time.Before(w.start.Add(w.delta)) {
@@ -213,6 +345,84 @@ func (w *Windower) Flush() algo.Timeunit {
 	u := w.cur
 	w.cur = algo.Timeunit{}
 	w.start = w.start.Add(w.delta)
+	return u
+}
+
+// BindTree enables the dense emission mode: record paths are interned
+// into t (which must be the tree the consuming engine operates on, see
+// algo.Config.Tree) and timeunits are filled as algo.DenseUnits.
+func (w *Windower) BindTree(t *hierarchy.Tree) { w.tree = t }
+
+// maxDensePool bounds the recycle pool and the emission buffer's
+// retained capacity: the steady state needs one or two units in
+// flight, so anything beyond this came from a rare gap-filling burst
+// and is better returned to the GC than pinned per stream forever.
+const maxDensePool = 16
+
+// reclaimDense recycles the units handed out by the previous dense
+// call.
+func (w *Windower) reclaimDense() {
+	for _, u := range w.dbuf {
+		if len(w.free) >= maxDensePool {
+			break
+		}
+		u.Reset()
+		w.free = append(w.free, u)
+	}
+	if cap(w.dbuf) > maxDensePool {
+		w.dbuf = nil
+		return
+	}
+	w.dbuf = w.dbuf[:0]
+}
+
+// nextDense returns an empty unit, preferring the recycle pool.
+func (w *Windower) nextDense() *algo.DenseUnit {
+	if n := len(w.free); n > 0 {
+		u := w.free[n-1]
+		w.free = w.free[:n-1]
+		return u
+	}
+	return &algo.DenseUnit{}
+}
+
+// ObserveDense is Observe on the dense path: the record's path is
+// interned straight to a node ID (no Key string is built) and counted
+// into a pooled DenseUnit. The returned units are valid until the next
+// ObserveDense/FlushDense call; in the steady state the call performs
+// zero allocations. BindTree must have been called.
+func (w *Windower) ObserveDense(r Record) ([]*algo.DenseUnit, error) {
+	if w.tree == nil {
+		return nil, errors.New("stream: ObserveDense before BindTree")
+	}
+	w.reclaimDense()
+	if err := w.anchor(r.Time); err != nil {
+		return nil, err
+	}
+	if w.dcur == nil {
+		w.dcur = w.nextDense()
+	}
+	for !r.Time.Before(w.start.Add(w.delta)) {
+		w.dbuf = append(w.dbuf, w.dcur)
+		w.dcur = w.nextDense()
+		w.start = w.start.Add(w.delta)
+	}
+	w.dcur.Add(w.tree.Intern(r.Path), 1)
+	return w.dbuf, nil
+}
+
+// FlushDense completes and returns the current dense timeunit (which
+// may be empty) and resets it. Like ObserveDense's result, the
+// returned unit is valid until the next dense call.
+func (w *Windower) FlushDense() *algo.DenseUnit {
+	w.reclaimDense()
+	u := w.dcur
+	if u == nil {
+		u = w.nextDense()
+	}
+	w.dcur = w.nextDense()
+	w.start = w.start.Add(w.delta)
+	w.dbuf = append(w.dbuf, u) // recycled on the next dense call
 	return u
 }
 

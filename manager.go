@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"tiresias/internal/algo"
 	"tiresias/internal/stream"
 )
 
@@ -47,30 +48,46 @@ type managerOptions struct {
 // force-complete when it jumps past the current unit (gap filling
 // across quiet periods). It caps the work and allocation one
 // bad-timestamp record can trigger — important when Feed is wired to
-// an ingest endpoint.
+// an ingest endpoint. Both Run and Manager.Feed enforce it unless
+// overridden with WithMaxGap.
 const DefaultMaxGap = 100_000
 
 // ManagerOption configures NewManager.
-type ManagerOption func(*managerOptions)
+type ManagerOption interface {
+	applyManager(*managerOptions)
+}
+
+// managerOptionFunc adapts a plain function to ManagerOption.
+type managerOptionFunc func(*managerOptions)
+
+func (f managerOptionFunc) applyManager(o *managerOptions) { f(o) }
 
 // WithShards sets the number of lock shards (default 16). More shards
 // means less contention between concurrent feeders; the stream count
 // is not bounded by it.
 func WithShards(n int) ManagerOption {
-	return func(o *managerOptions) { o.shards = n }
+	return managerOptionFunc(func(o *managerOptions) { o.shards = n })
 }
+
+// GapOption is the value returned by WithMaxGap; it configures both a
+// single detector (Option, applied to Run's windowing) and a Manager
+// (ManagerOption, applied to every managed stream's windowing).
+type GapOption int
+
+func (g GapOption) apply(o *options)               { o.maxGap = int(g) }
+func (g GapOption) applyManager(o *managerOptions) { o.maxGap = int(g) }
 
 // WithMaxGap overrides DefaultMaxGap, the per-record bound on
 // gap-filled timeunits; n <= 0 disables the bound (trusted feeds
-// only).
-func WithMaxGap(n int) ManagerOption {
-	return func(o *managerOptions) { o.maxGap = n }
-}
+// only). The returned value works as both an Option (New, governing
+// Run) and a ManagerOption (NewManager, governing Feed), so the
+// public API and Manager share one knob.
+func WithMaxGap(n int) GapOption { return GapOption(n) }
 
 // WithDetectorFactory supplies the constructor invoked for each new
 // stream name; use it when streams need heterogeneous configuration.
 func WithDetectorFactory(f func(stream string) (*Tiresias, error)) ManagerOption {
-	return func(o *managerOptions) { o.factory = f }
+	return managerOptionFunc(func(o *managerOptions) { o.factory = f })
 }
 
 // WithDetectorOptions configures every stream's detector with the same
@@ -84,7 +101,7 @@ func WithDetectorOptions(opts ...Option) ManagerOption {
 func NewManager(opts ...ManagerOption) (*Manager, error) {
 	o := managerOptions{shards: 16, maxGap: DefaultMaxGap}
 	for _, op := range opts {
-		op(&o)
+		op.applyManager(&o)
 	}
 	if o.shards < 1 {
 		return nil, fmt.Errorf("tiresias: shards must be >= 1, got %d", o.shards)
@@ -131,16 +148,16 @@ func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The windower interns paths into the detector's tree and
+		// emits pooled dense units, so the warm per-record path is
+		// allocation-free; the Manager-level gap bound guards the
+		// ingest endpoint.
+		w.SetMaxGap(m.maxGap)
+		w.BindTree(det.tree)
 		ms = &managedStream{det: det, w: w}
 		sh.streams[streamName] = ms
 	}
-	if m.maxGap > 0 && ms.first.seen {
-		if gap := r.Time.Sub(ms.w.Start()); gap > time.Duration(m.maxGap)*ms.det.Delta() {
-			return nil, fmt.Errorf("tiresias: stream %q: record at %v is more than %d timeunits past the current unit (%v)",
-				streamName, r.Time, m.maxGap, ms.w.Start())
-		}
-	}
-	done, err := ms.w.Observe(r)
+	done, err := ms.w.ObserveDense(r)
 	if err != nil {
 		return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
 	}
@@ -157,9 +174,9 @@ func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
 	return out, nil
 }
 
-// advance routes one completed unit of a managed stream.
-func (ms *managedStream) advance(u Timeunit) ([]Anomaly, error) {
-	sr, err := ms.det.ingestUnit(u, &ms.warmBuf, ms.first.at)
+// advance routes one completed dense unit of a managed stream.
+func (ms *managedStream) advance(u *algo.DenseUnit) ([]Anomaly, error) {
+	sr, err := ms.det.ingestUnitDense(u, &ms.warmBuf, ms.first.at)
 	if err != nil || sr == nil {
 		return nil, err
 	}
@@ -184,7 +201,7 @@ func (m *Manager) Flush(streamName string) ([]Anomaly, error) {
 		return nil, nil
 	}
 	ms.dirty = false
-	anoms, err := ms.advance(ms.w.Flush())
+	anoms, err := ms.advance(ms.w.FlushDense())
 	if err != nil {
 		return anoms, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
 	}

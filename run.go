@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"tiresias/internal/algo"
 	"tiresias/internal/stream"
 )
 
@@ -44,7 +45,14 @@ const ctxCheckEvery = 256
 // across several Run calls: the resumed windowing is anchored where
 // the previous run's clock left off, records predating it are
 // rejected as out-of-order, and any quiet gap is filled with empty
-// units so timestamps and seasonal phase stay honest.
+// units so timestamps and seasonal phase stay honest. Gap filling is
+// bounded by WithMaxGap; a record past the bound aborts the run with
+// a descriptive error.
+//
+// Internally Run is flat end to end: record paths intern straight to
+// dense node IDs in the detector's hierarchy, completed timeunits are
+// pooled DenseUnits, and the engine consumes them in place — the warm
+// steady state allocates nothing per record.
 func (t *Tiresias) Run(ctx context.Context, src Source) (*RunResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -60,6 +68,8 @@ func (t *Tiresias) Run(ctx context.Context, src Source) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetMaxGap(t.opts.maxGap)
+	w.BindTree(t.tree)
 	res := &RunResult{}
 	var warmBuf []Timeunit
 	var first startClock
@@ -78,7 +88,7 @@ func (t *Tiresias) Run(ctx context.Context, src Source) (*RunResult, error) {
 		if err != nil {
 			return res, err
 		}
-		done, err := w.Observe(r)
+		done, err := w.ObserveDense(r)
 		if err != nil {
 			return res, err
 		}
@@ -93,7 +103,7 @@ func (t *Tiresias) Run(ctx context.Context, src Source) (*RunResult, error) {
 		return nil, errors.New("tiresias: empty input stream")
 	}
 	// Flush the trailing partial unit so no ingested record is lost.
-	if err := t.runUnit(w.Flush(), &warmBuf, &first, res); err != nil {
+	if err := t.runUnit(w.FlushDense(), &warmBuf, &first, res); err != nil {
 		return res, err
 	}
 	// A stream shorter than the window still warms the detector with
@@ -119,10 +129,10 @@ func (c *startClock) observe(w *stream.Windower) {
 	}
 }
 
-// runUnit routes one completed timeunit through ingestUnit and
-// accumulates the screened result.
-func (t *Tiresias) runUnit(u Timeunit, warmBuf *[]Timeunit, first *startClock, res *RunResult) error {
-	sr, err := t.ingestUnit(u, warmBuf, first.at)
+// runUnit routes one completed dense timeunit through ingestUnitDense
+// and accumulates the screened result.
+func (t *Tiresias) runUnit(u *algo.DenseUnit, warmBuf *[]Timeunit, first *startClock, res *RunResult) error {
+	sr, err := t.ingestUnitDense(u, warmBuf, first.at)
 	if err != nil || sr == nil {
 		return err
 	}

@@ -69,6 +69,7 @@ type options struct {
 	seasonPeriods []int // explicit seasonal periods (timeunits), max 2
 	seasonXi      float64
 	sinks         []Sink
+	maxGap        int
 }
 
 // Option configures New.
@@ -188,6 +189,7 @@ func defaultOptions() options {
 		hwGamma:    0.3,
 		autoSeason: true,
 		seasonXi:   0.76,
+		maxGap:     DefaultMaxGap,
 	}
 }
 
@@ -202,6 +204,11 @@ type Tiresias struct {
 	start    time.Time // start of the first timeunit
 	warmLen  int       // units actually ingested by Warmup
 	instance int
+
+	// tree is the category hierarchy shared between the engine and
+	// any windower feeding it, so record paths intern to the dense
+	// node IDs the engine's flat hot path operates on.
+	tree *hierarchy.Tree
 
 	// Seasonality actually in use (filled during Warmup).
 	periods []int
@@ -254,7 +261,7 @@ func New(opts ...Option) (*Tiresias, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tiresias{opts: o, detector: det}, nil
+	return &Tiresias{opts: o, detector: det, tree: hierarchy.New()}, nil
 }
 
 // Delta returns the configured timeunit size.
@@ -312,6 +319,7 @@ func (t *Tiresias) Warmup(units []Timeunit, start time.Time) error {
 		NewForecaster: factory,
 		Lambda:        t.opts.lambda,
 		Eta:           t.opts.eta,
+		Tree:          t.tree,
 	}
 	var err error
 	switch t.opts.algorithm {
@@ -347,6 +355,7 @@ func (t *Tiresias) Reset() {
 	t.periods = nil
 	t.xi = 0
 	t.lastState = nil
+	t.tree = hierarchy.New()
 }
 
 // analyzeSeasonality runs FFT + wavelet analysis on the aggregate
@@ -408,6 +417,10 @@ func (t *Tiresias) factory() algo.ForecasterFactory {
 // processed timeunit.
 type StepResult struct {
 	// State is the engine's step outcome (heavy hitters, timings).
+	// It is engine-owned scratch, reused on the next processed unit
+	// so the steady-state step allocates nothing: read it before
+	// processing further units, or copy what you need to retain.
+	// Anomalies and UnitStart are the caller's to keep.
 	State *algo.StepState
 	// Anomalies lists Definition-4 violations in the newest unit.
 	Anomalies []Anomaly
@@ -419,6 +432,9 @@ type StepResult struct {
 // data" loop body) and returns detected anomalies. Registered sinks
 // are notified before ProcessUnit returns: OnAnomaly once per anomaly
 // (in detection order), then OnUnit once for the unit.
+//
+// The returned StepResult.State is only valid until the next unit is
+// processed (see StepResult).
 func (t *Tiresias) ProcessUnit(u Timeunit) (*StepResult, error) {
 	if !t.warm {
 		return nil, ErrNotWarm
@@ -427,6 +443,26 @@ func (t *Tiresias) ProcessUnit(u Timeunit) (*StepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return t.finishStep(st), nil
+}
+
+// processDense is ProcessUnit for a timeunit in dense node-ID form
+// (IDs interned into t's shared tree). It is the hot path behind Run
+// and Manager.Feed.
+func (t *Tiresias) processDense(u *algo.DenseUnit) (*StepResult, error) {
+	if !t.warm {
+		return nil, ErrNotWarm
+	}
+	st, err := t.engine.StepDense(u)
+	if err != nil {
+		return nil, err
+	}
+	return t.finishStep(st), nil
+}
+
+// finishStep runs the shared post-engine work of one unit: clock
+// derivation, Definition-4 screening, and sink notification.
+func (t *Tiresias) finishStep(st *algo.StepState) *StepResult {
 	t.lastState = st
 	t.instance++
 	// Clock from the units actually warmed, not the configured window:
@@ -434,7 +470,7 @@ func (t *Tiresias) ProcessUnit(u Timeunit) (*StepResult, error) {
 	unitStart := t.start.Add(time.Duration(t.warmLen+t.instance-1) * t.opts.delta)
 	anoms := t.detector.Scan(st, unitStart)
 	t.emit(st, anoms, unitStart)
-	return &StepResult{State: st, Anomalies: anoms, UnitStart: unitStart}, nil
+	return &StepResult{State: st, Anomalies: anoms, UnitStart: unitStart}
 }
 
 // emit pushes one processed unit's events to the registered sinks.
@@ -472,6 +508,23 @@ func (t *Tiresias) ingestUnit(u Timeunit, warmBuf *[]Timeunit, first time.Time) 
 		return nil, err
 	}
 	return t.ProcessUnit(u)
+}
+
+// ingestUnitDense is ingestUnit for pooled dense units from a bound
+// windower. During warmup the unit is converted to its map form (the
+// warm buffer must outlive the pooled unit); once warm it flows to the
+// engine's dense step untouched.
+func (t *Tiresias) ingestUnitDense(u *algo.DenseUnit, warmBuf *[]Timeunit, first time.Time) (*StepResult, error) {
+	if !t.warm {
+		*warmBuf = append(*warmBuf, u.Timeunit(t.tree))
+		if len(*warmBuf) < t.opts.windowLen {
+			return nil, nil
+		}
+		err := t.Warmup(*warmBuf, first)
+		*warmBuf = nil
+		return nil, err
+	}
+	return t.processDense(u)
 }
 
 // HeavyHitters returns the SHHH membership keys of the most recently
