@@ -33,10 +33,13 @@ type truthFile struct {
 	Anomalies    []gen.AnomalySpec `json:"anomalies"`
 }
 
+// anomalyFlags accumulates repeated -anomaly specs as a flag.Value.
 type anomalyFlags []gen.AnomalySpec
 
+// String implements flag.Value.
 func (a *anomalyFlags) String() string { return fmt.Sprintf("%d anomalies", len(*a)) }
 
+// Set implements flag.Value, parsing one path:start:end:rate spec.
 func (a *anomalyFlags) Set(s string) error {
 	parts := strings.Split(s, ":")
 	if len(parts) != 4 {

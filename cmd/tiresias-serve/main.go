@@ -14,6 +14,16 @@
 // carries an optional "stream" name (default "default"). Detected
 // anomalies are returned in the response and appended to the store, so
 // they immediately appear on the dashboard and /anomalies queries.
+//
+// Detectors survive restarts through the checkpoint subsystem:
+//
+//	tiresias-serve -checkpoint-dir /var/lib/tiresias -checkpoint-every 5m
+//	curl -X POST localhost:8080/v1/checkpoint   # on-demand snapshot
+//	tiresias-serve -checkpoint-dir /var/lib/tiresias -restore
+//
+// -restore rebuilds every stream from the directory at startup; a
+// restored stream resumes mid-unit and detects exactly what an
+// uninterrupted server would have.
 package main
 
 import (
@@ -58,9 +68,15 @@ func buildServer(args []string) (*http.Server, int, error) {
 		dt        = fs.Float64("dt", 8, "live ingest: absolute threshold DT")
 		shards    = fs.Int("shards", 16, "live ingest: manager lock shards")
 		maxGap    = fs.Int("max-gap", tiresias.DefaultMaxGap, "live ingest: max timeunits one record may gap-fill (<=0 disables)")
+		ckptDir   = fs.String("checkpoint-dir", "", "directory for stream checkpoints (enables POST /v1/checkpoint)")
+		restore   = fs.Bool("restore", false, "restore all streams from -checkpoint-dir at startup")
+		ckptEvery = fs.Duration("checkpoint-every", 0, "also checkpoint to -checkpoint-dir at this interval (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 0, err
+	}
+	if (*restore || *ckptEvery > 0) && *ckptDir == "" {
+		return nil, 0, fmt.Errorf("-restore and -checkpoint-every require -checkpoint-dir")
 	}
 	st := tiresias.NewStore()
 	if *storePath != "" {
@@ -88,11 +104,29 @@ func buildServer(args []string) (*http.Server, int, error) {
 	if _, err := tiresias.New(liveOpts...); err != nil {
 		return nil, 0, err
 	}
-	mgr, err := tiresias.NewManager(
+	mgrOpts := []tiresias.ManagerOption{
 		tiresias.WithShards(*shards),
 		tiresias.WithMaxGap(*maxGap),
 		tiresias.WithDetectorOptions(liveOpts...),
-	)
+	}
+	var mgr *tiresias.Manager
+	var err error
+	if *restore {
+		// Every restored stream resumes exactly where the previous
+		// process left off — mid-unit, mid-warmup, mid-stream — with
+		// its detector re-wired to the store through liveOpts. A
+		// directory with no checkpoint yet (first boot of a durable
+		// deployment) is a cold start, not an error — otherwise a
+		// service unit configured with -restore could never write its
+		// first checkpoint.
+		mgr, err = tiresias.ManagerFromCheckpoint(*ckptDir, mgrOpts...)
+		if errors.Is(err, tiresias.ErrNoCheckpoint) {
+			fmt.Fprintf(os.Stderr, "tiresias-serve: no checkpoint in %s yet, starting cold\n", *ckptDir)
+			mgr, err = tiresias.NewManager(mgrOpts...)
+		}
+	} else {
+		mgr, err = tiresias.NewManager(mgrOpts...)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -101,14 +135,40 @@ func buildServer(args []string) (*http.Server, int, error) {
 	mux.HandleFunc("GET /v1/streams", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, mgr.Streams())
 	})
+	mux.HandleFunc("POST /v1/checkpoint", checkpointHandler(mgr, *ckptDir))
 	// The dashboard handler serves the HTML report at "/" and keeps
 	// the JSON API at /anomalies and /stats.
 	mux.Handle("/", st.DashboardHandler())
-	return &http.Server{
+	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
-	}, st.Len(), nil
+	}
+	if *ckptEvery > 0 {
+		// The ticker is tied to the server lifecycle: a Shutdown stops
+		// it, so an embedding process (or a graceful restart) cannot
+		// leave a goroutine checkpointing into a directory a successor
+		// process may already be restoring from.
+		ticker := time.NewTicker(*ckptEvery)
+		done := make(chan struct{})
+		srv.RegisterOnShutdown(func() {
+			ticker.Stop()
+			close(done)
+		})
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					if _, err := mgr.Checkpoint(*ckptDir); err != nil {
+						fmt.Fprintln(os.Stderr, "tiresias-serve: periodic checkpoint:", err)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	return srv, st.Len(), nil
 }
 
 // ingestRecord is the POST /v1/records wire format: a stream.Record
@@ -171,6 +231,29 @@ func ingestHandler(mgr *tiresias.Manager) http.HandlerFunc {
 			resp.Anomalies = append(resp.Anomalies, anoms...)
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// checkpointResponse summarizes one on-demand checkpoint.
+type checkpointResponse struct {
+	Streams int    `json:"streams"`
+	Dir     string `json:"dir"`
+}
+
+// checkpointHandler snapshots every live stream into the configured
+// checkpoint directory on demand.
+func checkpointHandler(mgr *tiresias.Manager, dir string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if dir == "" {
+			http.Error(w, "checkpointing disabled: start with -checkpoint-dir", http.StatusConflict)
+			return
+		}
+		n, err := mgr.Checkpoint(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, checkpointResponse{Streams: n, Dir: dir})
 	}
 }
 

@@ -265,3 +265,111 @@ func TestLiveIngestBatchValidationHasNoSideEffects(t *testing.T) {
 		t.Fatalf("rejected batch mutated state: %+v", streams)
 	}
 }
+
+// TestCheckpointEndpointAndRestore ingests into two streams, snapshots
+// through POST /v1/checkpoint, restarts the server with -restore, and
+// verifies the streams resume (warm state, counters, live ingest).
+func TestCheckpointEndpointAndRestore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	args := []string{
+		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8",
+		"-theta", "0.5", "-rt", "2", "-dt", "5", "-checkpoint-dir", dir,
+	}
+	srv, _, err := buildServer(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var batch []map[string]any
+	for u := 0; u < 20; u++ {
+		for _, name := range []string{"ccd", "scd"} {
+			batch = append(batch, map[string]any{
+				"stream": name, "path": []string{"vho1", "io2"},
+				"time": base.Add(time.Duration(u) * time.Minute).Format(time.RFC3339),
+			})
+		}
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/records", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("ingest status = %d", code)
+	}
+	var ck struct {
+		Streams int    `json:"streams"`
+		Dir     string `json:"dir"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/checkpoint", "", &ck); code != http.StatusOK {
+		t.Fatalf("checkpoint status = %d", code)
+	}
+	if ck.Streams != 2 || ck.Dir != dir {
+		t.Fatalf("checkpoint response = %+v", ck)
+	}
+	ts.Close()
+
+	// Restart from the checkpoint and keep ingesting where we left off.
+	srv2, _, err := buildServer(append(args, "-restore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	defer ts2.Close()
+	var streams []map[string]any
+	resp, err := http.Get(ts2.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&streams)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 2 || streams[0]["warm"] != true || streams[1]["warm"] != true {
+		t.Fatalf("restored /v1/streams = %+v", streams)
+	}
+	next := map[string]any{
+		"stream": "ccd", "path": []string{"vho1", "io2"},
+		"time": base.Add(20 * time.Minute).Format(time.RFC3339),
+	}
+	body, err = json.Marshal(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, ts2.URL+"/v1/records", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("post-restore ingest status = %d", code)
+	}
+	if ing.Accepted != 1 {
+		t.Fatalf("post-restore accepted = %d", ing.Accepted)
+	}
+}
+
+// TestCheckpointEndpointDisabled checks the no-dir and bad-flag cases.
+func TestCheckpointEndpointDisabled(t *testing.T) {
+	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	var out map[string]any
+	if code := postJSON(t, ts.URL+"/v1/checkpoint", "", &out); code != http.StatusConflict {
+		t.Fatalf("checkpoint without -checkpoint-dir: status = %d, want 409", code)
+	}
+	if _, _, err := buildServer([]string{"-restore"}); err == nil {
+		t.Fatal("-restore without -checkpoint-dir must fail")
+	}
+	if _, _, err := buildServer([]string{"-checkpoint-every", "1m"}); err == nil {
+		t.Fatal("-checkpoint-every without -checkpoint-dir must fail")
+	}
+	// First boot of a durable deployment: -restore over an empty
+	// directory starts cold instead of crash-looping the service.
+	if _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-checkpoint-dir", t.TempDir(), "-restore"}); err != nil {
+		t.Fatalf("-restore from an empty directory must cold-start, got %v", err)
+	}
+}

@@ -11,6 +11,21 @@
 // JSON lines ({"path":[...],"time":"..."}) selected with -format. The
 // stream is processed incrementally (O(window) memory) and stops
 // cleanly on SIGINT/SIGTERM.
+//
+// With -checkpoint the detector state is written out when the run ends
+// (including on interrupt), and -resume continues a later run from
+// that file without re-warming:
+//
+//	tiresias -in day1.csv -checkpoint state.ckpt
+//	tiresias -in day2.csv -resume state.ckpt -checkpoint state.ckpt
+//
+// A run that reaches end of input flushes its final partial timeunit,
+// so a resume over the next file detects exactly what one
+// uninterrupted run would have. The checkpoint holds completed-unit
+// state only: interrupting mid-stream loses the records of the unit
+// in progress (and, during warmup, the buffered warmup units) — feed
+// the affected unit's records again on resume, or use the serve
+// Manager, whose checkpoints carry partial units.
 package main
 
 import (
@@ -66,6 +81,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		storeTo = fs.String("store", "", "also write anomalies as JSON to this file")
 		jsonOut = fs.Bool("json", false, "stream anomalies as JSON lines instead of text")
 		quiet   = fs.Bool("quiet", false, "suppress per-anomaly lines")
+		resume  = fs.String("resume", "", "resume from a checkpoint written by -checkpoint (detector flags come from the checkpoint; -delta/-window/-theta/-algo/-rule/-ref are ignored)")
+		ckptTo  = fs.String("checkpoint", "", "write the detector state to this file when the run ends (including on interrupt), for later -resume")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,37 +111,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := []tiresias.Option{
-		tiresias.WithDelta(*delta),
-		tiresias.WithWindowLen(*window),
-		tiresias.WithTheta(*theta),
-		tiresias.WithThresholds(tiresias.Thresholds{RT: *rt, DT: *dt}),
-		tiresias.WithSplitRule(rule),
-		tiresias.WithReferenceLevels(*ref),
-	}
-	switch *algoSel {
-	case "ada":
-		opts = append(opts, tiresias.WithAlgorithm(tiresias.AlgorithmADA))
-	case "sta":
-		opts = append(opts, tiresias.WithAlgorithm(tiresias.AlgorithmSTA))
-	default:
-		return fmt.Errorf("unknown algo %q", *algoSel)
-	}
 
 	// Anomalies stream out through sinks as units complete, instead of
 	// accumulating in the result. The store (and its memory footprint)
-	// exists only when the run must persist to -store.
+	// exists only when the run must persist to -store. Sinks live in
+	// their own option set because a -resume restore re-attaches them
+	// on top of the checkpointed configuration.
 	var st *tiresias.Store
 	var jsonSink *tiresias.JSONSink
+	var sinkOpts []tiresias.Option
 	if *storeTo != "" {
 		st = tiresias.NewStore()
-		opts = append(opts, tiresias.WithSink(tiresias.NewStoreSink(st)))
+		sinkOpts = append(sinkOpts, tiresias.WithSink(tiresias.NewStoreSink(st)))
 	}
 	if *jsonOut {
 		jsonSink = tiresias.NewJSONSink(stdout)
-		opts = append(opts, tiresias.WithSink(jsonSink))
+		sinkOpts = append(sinkOpts, tiresias.WithSink(jsonSink))
 	} else if !*quiet {
-		opts = append(opts, tiresias.WithSink(tiresias.SinkFuncs{
+		sinkOpts = append(sinkOpts, tiresias.WithSink(tiresias.SinkFuncs{
 			Anomaly: func(a tiresias.Anomaly) {
 				fmt.Fprintf(stdout, "anomaly instance=%d time=%s node=%s actual=%.1f forecast=%.1f\n",
 					a.Instance, a.Time.Format(time.RFC3339), a.Key, a.Actual, a.Forecast)
@@ -134,12 +138,45 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		// -quiet with no other output: a no-op sink keeps Run from
 		// accumulating anomalies it would never print (bounded memory
 		// on long streams; the summary only needs AnomalyCount).
-		opts = append(opts, tiresias.WithSink(tiresias.SinkFuncs{}))
+		sinkOpts = append(sinkOpts, tiresias.WithSink(tiresias.SinkFuncs{}))
 	}
 
-	t, err := tiresias.New(opts...)
-	if err != nil {
-		return err
+	var t *tiresias.Tiresias
+	if *resume != "" {
+		// The checkpoint carries the structural configuration; only
+		// sinks and detection thresholds are applied on top.
+		f, err := os.Open(*resume)
+		if err != nil {
+			return err
+		}
+		t, err = tiresias.Restore(f, append([]tiresias.Option{
+			tiresias.WithThresholds(tiresias.Thresholds{RT: *rt, DT: *dt}),
+		}, sinkOpts...)...)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		opts := []tiresias.Option{
+			tiresias.WithDelta(*delta),
+			tiresias.WithWindowLen(*window),
+			tiresias.WithTheta(*theta),
+			tiresias.WithThresholds(tiresias.Thresholds{RT: *rt, DT: *dt}),
+			tiresias.WithSplitRule(rule),
+			tiresias.WithReferenceLevels(*ref),
+		}
+		switch *algoSel {
+		case "ada":
+			opts = append(opts, tiresias.WithAlgorithm(tiresias.AlgorithmADA))
+		case "sta":
+			opts = append(opts, tiresias.WithAlgorithm(tiresias.AlgorithmSTA))
+		default:
+			return fmt.Errorf("unknown algo %q", *algoSel)
+		}
+		t, err = tiresias.New(append(opts, sinkOpts...)...)
+		if err != nil {
+			return err
+		}
 	}
 	// An interrupted or failed run still returns the partial result:
 	// report and persist what was detected before surfacing the error,
@@ -167,6 +204,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	// Persist the detector for a later -resume before surfacing any run
+	// error: an interrupted stream is exactly when a checkpoint matters.
+	if *ckptTo != "" {
+		if err := writeCheckpoint(t, *ckptTo); err != nil {
+			return err
+		}
+	}
 	if runErr != nil {
 		return runErr
 	}
@@ -174,4 +218,29 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return jsonSink.Err()
 	}
 	return nil
+}
+
+// writeCheckpoint snapshots the detector to path atomically (temp file
+// + rename), so a crash mid-write cannot leave a torn checkpoint.
+func writeCheckpoint(t *tiresias.Tiresias, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

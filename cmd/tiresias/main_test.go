@@ -165,3 +165,93 @@ func TestRunCanceledStillReportsPartialResults(t *testing.T) {
 		t.Fatalf("canceled run must still write -store: %v", statErr)
 	}
 }
+
+// writeSplitDataset emits one full CSV dataset plus the same records
+// split into two files at a timeunit boundary, for checkpoint/resume
+// equivalence testing.
+func writeSplitDataset(t *testing.T) (full, part1, part2 string) {
+	t.Helper()
+	cfg := gen.Config{
+		Shape:           gen.Shape{Degrees: []int{3, 2}, LevelPrefix: []string{"v", "io"}},
+		Start:           time.Date(2010, 5, 3, 0, 0, 0, 0, time.UTC),
+		Units:           72,
+		Delta:           15 * time.Minute,
+		BaseRate:        30,
+		DiurnalStrength: 0.4,
+		ZipfS:           0.7,
+		Seed:            9,
+		Anomalies: []gen.AnomalySpec{{
+			Path: []string{"v1"}, StartUnit: 60, EndUnit: 64, ExtraPerUnit: 300,
+		}},
+	}
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := cfg.Start.Add(50 * cfg.Delta)
+	var all, one, two strings.Builder
+	for _, r := range ds.Records {
+		line := stream.MarshalCSVish(r) + "\n"
+		all.WriteString(line)
+		if r.Time.Before(boundary) {
+			one.WriteString(line)
+		} else {
+			two.WriteString(line)
+		}
+	}
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return write("full.csv", all.String()), write("part1.csv", one.String()), write("part2.csv", two.String())
+}
+
+// TestRunCheckpointResume runs a stream whole, then in two halves with
+// a checkpoint/resume in between: the JSON anomaly output must match.
+func TestRunCheckpointResume(t *testing.T) {
+	full, part1, part2 := writeSplitDataset(t)
+	ckpt := filepath.Join(t.TempDir(), "state.ckpt")
+	common := []string{"-window", "48", "-theta", "4", "-json"}
+
+	var wantOut bytes.Buffer
+	if err := run(context.Background(), append([]string{"-in", full}, common...), &wantOut); err != nil {
+		t.Fatal(err)
+	}
+
+	var out1, out2 bytes.Buffer
+	if err := run(context.Background(), append([]string{"-in", part1, "-checkpoint", ckpt}, common...), &out1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+	if err := run(context.Background(), append([]string{"-in", part2, "-resume", ckpt, "-checkpoint", ckpt}, common...), &out2); err != nil {
+		t.Fatal(err)
+	}
+	got := out1.String() + out2.String()
+	if got != wantOut.String() {
+		t.Fatalf("resumed anomaly stream differs from uninterrupted run:\n got:\n%s\nwant:\n%s", got, wantOut.String())
+	}
+	if wantOut.Len() == 0 {
+		t.Fatal("expected anomalies in the dataset (injected burst)")
+	}
+}
+
+// TestRunResumeErrors covers the bad-checkpoint paths of -resume.
+func TestRunResumeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-resume", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing checkpoint file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-resume", bad}, &out); err == nil {
+		t.Fatal("corrupt checkpoint must fail")
+	}
+}

@@ -1,0 +1,137 @@
+package tiresias
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGodocCoverage is the repo's docs lint: every package must carry
+// a package comment, and every exported top-level identifier (and
+// exported method on an exported type) must have a doc comment that
+// starts with the identifier's name, mirroring the revive
+// exported-comment rule the CI docs-lint job runs. It keeps the godoc
+// surface complete as the codebase grows.
+func TestGodocCoverage(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgComments := map[string]bool{} // directory → has package comment
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		pkgDirs[dir] = true
+		if f.Doc != nil {
+			pkgComments[dir] = true
+		}
+		lintFile(t, path, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := range pkgDirs {
+		if !pkgComments[dir] {
+			t.Errorf("%s: package has no package comment in any file", dir)
+		}
+	}
+}
+
+// lintFile flags exported declarations lacking a conforming doc
+// comment.
+func lintFile(t *testing.T, path string, f *ast.File) {
+	t.Helper()
+	for _, d := range f.Decls {
+		switch dd := d.(type) {
+		case *ast.FuncDecl:
+			if !dd.Name.IsExported() || unexportedReceiver(dd) {
+				continue
+			}
+			checkDoc(t, path, "func", dd.Name.Name, dd.Doc)
+		case *ast.GenDecl:
+			if dd.Tok != token.TYPE && dd.Tok != token.VAR && dd.Tok != token.CONST {
+				continue
+			}
+			// A doc comment on the grouped declaration covers all its
+			// specs (the idiomatic style for const/var blocks).
+			for _, spec := range dd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					if s.Doc == nil && dd.Doc == nil {
+						t.Errorf("%s: exported type %s has no doc comment", path, s.Name.Name)
+						continue
+					}
+					if dd.Doc == nil || s.Doc != nil {
+						checkDoc(t, path, "type", s.Name.Name, s.Doc)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && dd.Doc == nil && s.Doc == nil && s.Comment == nil {
+							t.Errorf("%s: exported %s %s has no doc comment", path, dd.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// unexportedReceiver reports whether fn is a method on an unexported
+// type (whose exported methods typically implement an interface and
+// are documented there).
+func unexportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	typ := fn.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return !x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkDoc enforces the "comment starts with the name" convention with
+// the usual allowances for articles.
+func checkDoc(t *testing.T, path, kind, name string, doc *ast.CommentGroup) {
+	t.Helper()
+	if doc == nil {
+		t.Errorf("%s: exported %s %s has no doc comment", path, kind, name)
+		return
+	}
+	text := doc.Text()
+	for _, prefix := range []string{name + " ", name + ",", name + "'s", name + "(", "A " + name, "An " + name, "The " + name, "Deprecated:"} {
+		if strings.HasPrefix(text, prefix) {
+			return
+		}
+	}
+	t.Errorf("%s: doc comment of %s %s should start with %q", path, kind, name, name)
+}

@@ -212,6 +212,15 @@ type Engine interface {
 	StepDense(u *DenseUnit) (*StepState, error)
 	// Tree exposes the engine's hierarchy (grown dynamically).
 	Tree() *hierarchy.Tree
+	// ExportState snapshots the engine's full dynamic state for the
+	// checkpoint subsystem. The returned state is an independent deep
+	// copy. Errors before Init.
+	ExportState() (*EngineState, error)
+	// ImportState loads an exported state into a freshly constructed
+	// engine sharing the exporting engine's Config and hierarchy, and
+	// returns the rebuilt StepState of the last processed instance.
+	// Errors after Init (import replaces it).
+	ImportState(st *EngineState) (*StepState, error)
 	// SeriesOf returns a copy of the retained actual series (oldest
 	// first) for the node, or nil when the node holds no series.
 	SeriesOf(n *hierarchy.Node) []float64

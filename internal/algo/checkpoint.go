@@ -1,0 +1,324 @@
+package algo
+
+// Engine checkpoint support: every engine can export its full dynamic
+// state into the flat, serializable EngineState and reimport it into a
+// freshly constructed engine sharing the same Config and hierarchy.
+// The round trip is exact — a restored engine steps bit-identically to
+// one that never stopped — which is what the public Snapshot/Restore
+// API builds on.
+
+import (
+	"fmt"
+	"sort"
+
+	"tiresias/internal/forecast"
+	"tiresias/internal/series"
+)
+
+// RingState is the serializable form of a series.Ring: its capacity
+// plus the live samples oldest-first (the physical head position is
+// not observable and not retained).
+type RingState struct {
+	// Cap is the ring capacity (the window length ℓ for engine rings).
+	Cap int
+	// Values holds the live samples, oldest first.
+	Values []float64
+}
+
+func captureRing(r *series.Ring) RingState {
+	return RingState{Cap: r.Cap(), Values: r.Values()}
+}
+
+// restoreRing rebuilds a ring, requiring the stated capacity to match
+// wantCap (engine rings must share the window length or later
+// AddRing/CopyFrom calls would fail mid-stream).
+func restoreRing(st RingState, wantCap int) (*series.Ring, error) {
+	if st.Cap != wantCap {
+		return nil, fmt.Errorf("algo: ring capacity %d in checkpoint, engine window is %d", st.Cap, wantCap)
+	}
+	if len(st.Values) > st.Cap {
+		return nil, fmt.Errorf("algo: ring holds %d samples over capacity %d", len(st.Values), st.Cap)
+	}
+	r := series.NewRing(st.Cap)
+	r.SetValues(st.Values)
+	return r, nil
+}
+
+// SeriesState is the serializable per-heavy-hitter series bundle of
+// ADA: both rings, the live forecasting model, and the optional
+// multi-timescale structure.
+type SeriesState struct {
+	// ID is the dense node ID owning the series.
+	ID int
+	// Actual and Fcast mirror nodeSeries.actual / nodeSeries.fcast.
+	Actual, Fcast RingState
+	// Model is the captured forecasting model.
+	Model forecast.State
+	// Multi is the captured §V-B6 multi-timescale state, nil when
+	// multi-scale tracking is disabled.
+	Multi *series.MultiScaleState
+}
+
+// RefState is the serializable reference-series entry of §V-B5.
+type RefState struct {
+	// ID is the dense node ID the reference series belongs to.
+	ID int
+	// Ring holds the raw-weight reference series.
+	Ring RingState
+	// Model is the captured reference forecasting model.
+	Model forecast.State
+}
+
+// UnitState is the serializable form of one retained timeunit (STA's
+// window): touched dense node IDs with their direct counts.
+type UnitState struct {
+	// IDs lists the touched node IDs in ascending order.
+	IDs []int32
+	// Vals holds the direct count per entry of IDs.
+	Vals []float64
+}
+
+// EngineState is the full dynamic state of an engine, exported by
+// Engine.ExportState and consumed by Engine.ImportState on a fresh
+// engine with the same Config and hierarchy. ADA fills the per-node
+// arrays and series; STA fills Window. Scratch buffers, pools, and
+// per-instance transient marks are deliberately absent: they are
+// empty/cleared at every step boundary, so omitting them preserves
+// step-for-step equivalence.
+type EngineState struct {
+	// Kind is the engine name ("ADA" or "STA").
+	Kind string
+	// Instance is the 0-based index of the last processed instance.
+	Instance int
+
+	// ADA per-node arrays, indexed by dense node ID (length = tree
+	// size at export).
+	InSHHH []bool
+	Ishh   []bool
+	Weight []float64
+	RawA   []float64
+	PrevA  []float64
+	CumA   []float64
+	EwmaA  []float64
+	// Series lists the live per-node series bundles in ascending ID
+	// order.
+	Series []SeriesState
+	// Refs lists the §V-B5 reference series in ascending ID order.
+	Refs []RefState
+	// RefCovered is the tree size when reference coverage was last
+	// ensured.
+	RefCovered int
+
+	// Window is STA's retained sliding window, oldest first.
+	Window []UnitState
+}
+
+// ExportState implements Engine. The returned state deep-copies every
+// ring and model, so it stays valid while the engine keeps stepping.
+func (a *ADA) ExportState() (*EngineState, error) {
+	if !a.inited {
+		return nil, errState
+	}
+	// Records interned since the last step may have grown the tree past
+	// the per-node arrays; grow now so the exported arrays line up with
+	// the exported hierarchy.
+	a.grow()
+	n := a.tree.Len()
+	st := &EngineState{
+		Kind:       a.Name(),
+		Instance:   a.instance,
+		InSHHH:     append([]bool(nil), a.inSHHH[:n]...),
+		Ishh:       append([]bool(nil), a.ishh[:n]...),
+		Weight:     append([]float64(nil), a.weight[:n]...),
+		RawA:       append([]float64(nil), a.rawA[:n]...),
+		PrevA:      append([]float64(nil), a.prevA[:n]...),
+		CumA:       append([]float64(nil), a.cumA[:n]...),
+		EwmaA:      append([]float64(nil), a.ewmaA[:n]...),
+		RefCovered: a.refCovered,
+	}
+	for id, ns := range a.state {
+		if ns == nil {
+			continue
+		}
+		model, err := forecast.Capture(ns.model)
+		if err != nil {
+			return nil, fmt.Errorf("algo: node %d: %w", id, err)
+		}
+		ss := SeriesState{
+			ID:     id,
+			Actual: captureRing(ns.actual),
+			Fcast:  captureRing(ns.fcast),
+			Model:  model,
+		}
+		if ns.multi != nil {
+			ms := ns.multi.State()
+			ss.Multi = &ms
+		}
+		st.Series = append(st.Series, ss)
+	}
+	ids := make([]int, 0, len(a.refActual))
+	for id := range a.refActual {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		model, err := forecast.Capture(a.refModel[id])
+		if err != nil {
+			return nil, fmt.Errorf("algo: reference %d: %w", id, err)
+		}
+		st.Refs = append(st.Refs, RefState{ID: id, Ring: captureRing(a.refActual[id]), Model: model})
+	}
+	return st, nil
+}
+
+// ImportState implements Engine: it loads an exported state into a
+// freshly constructed ADA whose Config and hierarchy match the
+// exporting engine, and returns the rebuilt StepState of the last
+// processed instance. The engine must not have been Init-ed.
+func (a *ADA) ImportState(st *EngineState) (*StepState, error) {
+	if a.inited {
+		return nil, errState
+	}
+	if st.Kind != a.Name() {
+		return nil, fmt.Errorf("algo: checkpoint holds %s state, engine is %s", st.Kind, a.Name())
+	}
+	n := a.tree.Len()
+	if len(st.InSHHH) != n || len(st.Ishh) != n || len(st.Weight) != n || len(st.RawA) != n ||
+		len(st.PrevA) != n || len(st.CumA) != n || len(st.EwmaA) != n {
+		return nil, fmt.Errorf("algo: checkpoint arrays cover %d nodes, hierarchy has %d", len(st.InSHHH), n)
+	}
+	if st.RefCovered < 0 || st.RefCovered > n {
+		return nil, fmt.Errorf("algo: checkpoint RefCovered %d out of range [0,%d]", st.RefCovered, n)
+	}
+	if st.Instance < 0 {
+		return nil, fmt.Errorf("algo: checkpoint instance %d is negative", st.Instance)
+	}
+	a.inited = true
+	a.instance = st.Instance
+	a.grow()
+	copy(a.inSHHH, st.InSHHH)
+	copy(a.ishh, st.Ishh)
+	copy(a.weight, st.Weight)
+	copy(a.rawA, st.RawA)
+	copy(a.prevA, st.PrevA)
+	copy(a.cumA, st.CumA)
+	copy(a.ewmaA, st.EwmaA)
+	for _, ss := range st.Series {
+		if ss.ID < 0 || ss.ID >= n {
+			return nil, fmt.Errorf("algo: series for node %d outside hierarchy of %d nodes", ss.ID, n)
+		}
+		if a.state[ss.ID] != nil {
+			return nil, fmt.Errorf("algo: duplicate series for node %d", ss.ID)
+		}
+		actual, err := restoreRing(ss.Actual, a.cfg.WindowLen)
+		if err != nil {
+			return nil, err
+		}
+		fcast, err := restoreRing(ss.Fcast, a.cfg.WindowLen)
+		if err != nil {
+			return nil, err
+		}
+		model, err := forecast.Restore(ss.Model)
+		if err != nil {
+			return nil, fmt.Errorf("algo: node %d: %w", ss.ID, err)
+		}
+		ns := &nodeSeries{actual: actual, fcast: fcast, model: model}
+		if ss.Multi != nil {
+			ns.multi, err = series.RestoreMultiScale(*ss.Multi)
+			if err != nil {
+				return nil, fmt.Errorf("algo: node %d: %w", ss.ID, err)
+			}
+		}
+		a.state[ss.ID] = ns
+	}
+	for _, rs := range st.Refs {
+		if rs.ID < 0 || rs.ID >= n {
+			return nil, fmt.Errorf("algo: reference for node %d outside hierarchy of %d nodes", rs.ID, n)
+		}
+		if _, ok := a.refActual[rs.ID]; ok {
+			return nil, fmt.Errorf("algo: duplicate reference series for node %d", rs.ID)
+		}
+		ring, err := restoreRing(rs.Ring, a.cfg.WindowLen)
+		if err != nil {
+			return nil, err
+		}
+		model, err := forecast.Restore(rs.Model)
+		if err != nil {
+			return nil, fmt.Errorf("algo: reference %d: %w", rs.ID, err)
+		}
+		a.refActual[rs.ID] = ring
+		a.refModel[rs.ID] = model
+	}
+	a.refCovered = st.RefCovered
+	return a.snapshot(), nil
+}
+
+// ExportState implements Engine: STA's dynamic state is the retained
+// sliding window (plus the instance counter); everything else is
+// recomputed from scratch each step.
+func (s *STA) ExportState() (*EngineState, error) {
+	if !s.inited {
+		return nil, errState
+	}
+	st := &EngineState{
+		Kind:     s.Name(),
+		Instance: s.instance,
+		Window:   make([]UnitState, 0, len(s.window)),
+	}
+	for _, u := range s.window {
+		us := UnitState{IDs: make([]int32, 0, len(u)), Vals: make([]float64, 0, len(u))}
+		for k := range u {
+			n := s.tree.Lookup(k)
+			if n == nil {
+				return nil, fmt.Errorf("algo: window key %q missing from hierarchy", k)
+			}
+			us.IDs = append(us.IDs, int32(n.ID))
+		}
+		sort.Slice(us.IDs, func(i, j int) bool { return us.IDs[i] < us.IDs[j] })
+		for _, id := range us.IDs {
+			us.Vals = append(us.Vals, u[s.tree.Node(int(id)).Key])
+		}
+		st.Window = append(st.Window, us)
+	}
+	return st, nil
+}
+
+// ImportState implements Engine: it reloads the retained window into a
+// fresh STA and reruns the (idempotent) detection pass over it, so the
+// returned StepState — and all cached series — match the exporting
+// engine's last instance exactly.
+func (s *STA) ImportState(st *EngineState) (*StepState, error) {
+	if s.inited {
+		return nil, errState
+	}
+	if st.Kind != s.Name() {
+		return nil, fmt.Errorf("algo: checkpoint holds %s state, engine is %s", st.Kind, s.Name())
+	}
+	if len(st.Window) == 0 {
+		return nil, fmt.Errorf("algo: checkpoint window is empty")
+	}
+	if len(st.Window) > s.cfg.WindowLen {
+		return nil, fmt.Errorf("algo: checkpoint window holds %d units, ℓ is %d", len(st.Window), s.cfg.WindowLen)
+	}
+	if st.Instance < 0 {
+		return nil, fmt.Errorf("algo: checkpoint instance %d is negative", st.Instance)
+	}
+	n := s.tree.Len()
+	s.window = make([]Timeunit, 0, s.cfg.WindowLen)
+	for _, us := range st.Window {
+		if len(us.IDs) != len(us.Vals) {
+			return nil, fmt.Errorf("algo: window unit has %d IDs, %d values", len(us.IDs), len(us.Vals))
+		}
+		u := make(Timeunit, len(us.IDs))
+		for i, id := range us.IDs {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("algo: window unit references node %d outside hierarchy of %d nodes", id, n)
+			}
+			u[s.tree.Node(int(id)).Key] += us.Vals[i]
+		}
+		s.window = append(s.window, u)
+	}
+	s.instance = st.Instance
+	s.inited = true
+	return s.process()
+}

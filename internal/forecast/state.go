@@ -1,0 +1,124 @@
+package forecast
+
+import (
+	"fmt"
+)
+
+// Model kinds used in State.Kind. The strings are part of the
+// checkpoint wire format and must never change for an existing model.
+const (
+	// KindEWMA tags an *EWMA model state.
+	KindEWMA = "ewma"
+	// KindHoltWinters tags a *HoltWinters model state.
+	KindHoltWinters = "hw"
+	// KindDualSeason tags a *DualSeason model state.
+	KindDualSeason = "dual"
+)
+
+// State is a serializable snapshot of a Linear model: the kind tag
+// plus flat integer and float vectors whose layout is kind-specific
+// (documented on Capture). It exists for the checkpoint subsystem —
+// Capture and Restore round-trip a model bit-exactly, so a restored
+// detector forecasts identically to one that never restarted.
+type State struct {
+	// Kind identifies the concrete model (KindEWMA, ...).
+	Kind string
+	// Ints holds the integer state in the kind's documented order.
+	Ints []int
+	// Floats holds the float state in the kind's documented order.
+	Floats []float64
+}
+
+// Capture snapshots a Linear model into a State. Layouts:
+//
+//   - KindEWMA: Ints = [seen]; Floats = [alpha, f]
+//   - KindHoltWinters: Ints = [period, idx];
+//     Floats = [alpha, beta, gamma, level, trend, season[0..period)]
+//   - KindDualSeason: Ints = [p1, p2, i1, i2];
+//     Floats = [alpha, beta, gamma, xi, level, trend, s1..., s2...]
+//
+// Models outside the Linear trio of this package are rejected.
+func Capture(m Linear) (State, error) {
+	switch x := m.(type) {
+	case *EWMA:
+		seen := 0
+		if x.seen {
+			seen = 1
+		}
+		return State{
+			Kind:   KindEWMA,
+			Ints:   []int{seen},
+			Floats: []float64{x.Alpha, x.f},
+		}, nil
+	case *HoltWinters:
+		fl := make([]float64, 0, 5+len(x.season))
+		fl = append(fl, x.alpha, x.beta, x.gamma, x.level, x.trend)
+		fl = append(fl, x.season...)
+		return State{
+			Kind:   KindHoltWinters,
+			Ints:   []int{x.period, x.idx},
+			Floats: fl,
+		}, nil
+	case *DualSeason:
+		fl := make([]float64, 0, 6+len(x.s1)+len(x.s2))
+		fl = append(fl, x.alpha, x.beta, x.gamma, x.xi, x.level, x.trend)
+		fl = append(fl, x.s1...)
+		fl = append(fl, x.s2...)
+		return State{
+			Kind:   KindDualSeason,
+			Ints:   []int{x.p1, x.p2, x.i1, x.i2},
+			Floats: fl,
+		}, nil
+	default:
+		return State{}, fmt.Errorf("%w: cannot capture %T", ErrIncompatible, m)
+	}
+}
+
+// Restore rebuilds the Linear model captured in s, validating the
+// layout lengths so a corrupt state errors instead of panicking.
+func Restore(s State) (Linear, error) {
+	switch s.Kind {
+	case KindEWMA:
+		if len(s.Ints) != 1 || len(s.Floats) != 2 {
+			return nil, fmt.Errorf("forecast: bad ewma state (%d ints, %d floats)", len(s.Ints), len(s.Floats))
+		}
+		return &EWMA{Alpha: s.Floats[0], f: s.Floats[1], seen: s.Ints[0] != 0}, nil
+	case KindHoltWinters:
+		if len(s.Ints) != 2 {
+			return nil, fmt.Errorf("forecast: bad holt-winters state (%d ints)", len(s.Ints))
+		}
+		period, idx := s.Ints[0], s.Ints[1]
+		if period < 1 || idx < 0 || idx >= period || len(s.Floats) != 5+period {
+			return nil, fmt.Errorf("forecast: bad holt-winters state (period %d, idx %d, %d floats)",
+				period, idx, len(s.Floats))
+		}
+		hw := &HoltWinters{
+			alpha: s.Floats[0], beta: s.Floats[1], gamma: s.Floats[2],
+			period: period,
+			level:  s.Floats[3], trend: s.Floats[4],
+			season: append([]float64(nil), s.Floats[5:]...),
+			idx:    idx,
+		}
+		return hw, nil
+	case KindDualSeason:
+		if len(s.Ints) != 4 {
+			return nil, fmt.Errorf("forecast: bad dual-season state (%d ints)", len(s.Ints))
+		}
+		p1, p2, i1, i2 := s.Ints[0], s.Ints[1], s.Ints[2], s.Ints[3]
+		if p1 < 1 || p2 < p1 || i1 < 0 || i1 >= p1 || i2 < 0 || i2 >= p2 || len(s.Floats) != 6+p1+p2 {
+			return nil, fmt.Errorf("forecast: bad dual-season state (p1 %d, p2 %d, %d floats)",
+				p1, p2, len(s.Floats))
+		}
+		d := &DualSeason{
+			alpha: s.Floats[0], beta: s.Floats[1], gamma: s.Floats[2], xi: s.Floats[3],
+			p1: p1, p2: p2,
+			level: s.Floats[4], trend: s.Floats[5],
+			s1: append([]float64(nil), s.Floats[6:6+p1]...),
+			s2: append([]float64(nil), s.Floats[6+p1:]...),
+			i1: i1, i2: i2,
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("forecast: unknown model kind %q", s.Kind)
+	}
+}

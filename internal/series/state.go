@@ -1,0 +1,62 @@
+package series
+
+import (
+	"fmt"
+)
+
+// MultiScaleState is a serializable snapshot of a MultiScale,
+// capturing the shape (λ, ℓ, η via len(Scales)) together with the
+// retained samples and the per-scale cascade fill counters. It exists
+// for the checkpoint subsystem; State and RestoreMultiScale round-trip
+// the structure bit-exactly.
+type MultiScaleState struct {
+	// Lambda is the base spacing λ.
+	Lambda int
+	// Ell is the per-scale window length ℓ.
+	Ell int
+	// Fills holds the cascade counters, one per scale.
+	Fills []int
+	// Scales holds the retained samples per scale, oldest first.
+	Scales [][]float64
+}
+
+// State snapshots the receiver into an independent MultiScaleState
+// (the sample slices are deep-copied).
+func (m *MultiScale) State() MultiScaleState {
+	st := MultiScaleState{
+		Lambda: m.lambda,
+		Ell:    m.ell,
+		Fills:  append([]int(nil), m.fills...),
+		Scales: make([][]float64, len(m.scales)),
+	}
+	for i, s := range m.scales {
+		st.Scales[i] = append([]float64(nil), s...)
+	}
+	return st
+}
+
+// RestoreMultiScale rebuilds a MultiScale from a captured state,
+// validating the shape so corrupt input errors instead of producing a
+// structure that later panics.
+func RestoreMultiScale(st MultiScaleState) (*MultiScale, error) {
+	m, err := NewMultiScale(st.Lambda, len(st.Scales), st.Ell)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Fills) != len(st.Scales) {
+		return nil, fmt.Errorf("series: multiscale state has %d fills for %d scales",
+			len(st.Fills), len(st.Scales))
+	}
+	for i, s := range st.Scales {
+		if len(s) > st.Ell+st.Lambda {
+			return nil, fmt.Errorf("series: multiscale scale %d holds %d samples, max %d",
+				i, len(s), st.Ell+st.Lambda)
+		}
+		m.scales[i] = append([]float64(nil), s...)
+		if st.Fills[i] < 0 {
+			return nil, fmt.Errorf("series: negative fill counter at scale %d", i)
+		}
+		m.fills[i] = st.Fills[i]
+	}
+	return m, nil
+}

@@ -17,7 +17,7 @@ func TestCSVishSourceTimestampCache(t *testing.T) {
 		"2012-06-18T10:00:00Z,a/x",
 		"2012-06-18T10:00:00Z,a/y", // same second: cached parse
 		"2012-06-18T10:00:00Z,b",
-		"2012-06-18T10:00:01Z,a/x", // new second: fresh parse
+		"2012-06-18T10:00:01Z,a/x",  // new second: fresh parse
 		"2012-06-18T10:00:00Z,late", // repeated older prefix must still parse right
 	}, "\n")
 	src := NewCSVishSource(strings.NewReader(in))

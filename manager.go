@@ -19,6 +19,16 @@ type Manager struct {
 	shards  []managerShard
 	factory func(stream string) (*Tiresias, error)
 	maxGap  int
+
+	// detectorOpts is the raw Option set given via WithDetectorOptions,
+	// retained so ManagerFromCheckpoint can re-apply it (sinks, ...) to
+	// restored detectors; nil when a bare factory was supplied.
+	detectorOpts []Option
+
+	// ckptMu serializes Checkpoint calls, so a periodic checkpoint
+	// timer racing an on-demand trigger cannot interleave generation
+	// writes in the same directory.
+	ckptMu sync.Mutex
 }
 
 type managerShard struct {
@@ -39,9 +49,10 @@ type managedStream struct {
 
 // managerOptions collects Manager configuration.
 type managerOptions struct {
-	shards  int
-	maxGap  int
-	factory func(stream string) (*Tiresias, error)
+	shards       int
+	maxGap       int
+	factory      func(stream string) (*Tiresias, error)
+	detectorOpts []Option
 }
 
 // DefaultMaxGap bounds how many timeunits a single record may
@@ -77,11 +88,23 @@ type GapOption int
 func (g GapOption) apply(o *options)               { o.maxGap = int(g) }
 func (g GapOption) applyManager(o *managerOptions) { o.maxGap = int(g) }
 
-// WithMaxGap overrides DefaultMaxGap, the per-record bound on
-// gap-filled timeunits; n <= 0 disables the bound (trusted feeds
-// only). The returned value works as both an Option (New, governing
-// Run) and a ManagerOption (NewManager, governing Feed), so the
-// public API and Manager share one knob.
+// WithMaxGap bounds gap filling: when a record's timestamp jumps past
+// the current timeunit, the windower emits one empty timeunit per
+// elapsed Δ (so seasonal phase and timestamps stay honest across quiet
+// periods), and each emitted unit is screened like any other. A single
+// record may force-complete at most n such units; a record further in
+// the future than n·Δ is rejected with an error (stream.ErrMaxGap)
+// before any windowing state changes, so the stream stays usable at
+// sane timestamps. n <= 0 disables the bound entirely — acceptable
+// only for trusted feeds, since one bad far-future timestamp then
+// fabricates unbounded empty units. The default is DefaultMaxGap.
+//
+// The returned GapOption deliberately implements both option
+// interfaces, so the same knob governs every ingestion path: pass it
+// to New and it bounds that detector's Run windowing (and is carried
+// through Snapshot/Restore); pass it to NewManager or
+// ManagerFromCheckpoint and it bounds every managed stream's Feed
+// windowing.
 func WithMaxGap(n int) GapOption { return GapOption(n) }
 
 // WithDetectorFactory supplies the constructor invoked for each new
@@ -91,9 +114,15 @@ func WithDetectorFactory(f func(stream string) (*Tiresias, error)) ManagerOption
 }
 
 // WithDetectorOptions configures every stream's detector with the same
-// Option set — the common homogeneous-fleet case.
+// Option set — the common homogeneous-fleet case. Unlike a bare
+// WithDetectorFactory, the Option set is also re-applied to detectors
+// restored by ManagerFromCheckpoint (re-attaching sinks after a
+// restart).
 func WithDetectorOptions(opts ...Option) ManagerOption {
-	return WithDetectorFactory(func(string) (*Tiresias, error) { return New(opts...) })
+	return managerOptionFunc(func(o *managerOptions) {
+		o.detectorOpts = opts
+		o.factory = func(string) (*Tiresias, error) { return New(opts...) }
+	})
 }
 
 // NewManager builds an empty sharded Manager. Without a factory,
@@ -109,7 +138,12 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 	if o.factory == nil {
 		o.factory = func(string) (*Tiresias, error) { return New() }
 	}
-	m := &Manager{shards: make([]managerShard, o.shards), factory: o.factory, maxGap: o.maxGap}
+	m := &Manager{
+		shards:       make([]managerShard, o.shards),
+		factory:      o.factory,
+		maxGap:       o.maxGap,
+		detectorOpts: o.detectorOpts,
+	}
 	for i := range m.shards {
 		m.shards[i].streams = make(map[string]*managedStream)
 	}

@@ -15,6 +15,11 @@
 // Anomalies can be pushed to Sinks as they are found (WithSink), and a
 // sharded Manager multiplexes many independent streams behind one
 // Feed hot path.
+//
+// Detectors are durable: Snapshot serializes the full warm state to a
+// versioned binary checkpoint and Restore resumes it mid-stream with
+// bit-identical future detections (Manager.Checkpoint /
+// ManagerFromCheckpoint do the same for a fleet).
 package tiresias
 
 import (
@@ -309,25 +314,8 @@ func (t *Tiresias) Warmup(units []Timeunit, start time.Time) error {
 		t.xi = t.opts.seasonXi
 	}
 
-	factory := t.factory()
-	cfg := algo.Config{
-		Theta:         t.opts.theta,
-		WindowLen:     t.opts.windowLen,
-		Rule:          t.opts.rule,
-		RuleAlpha:     t.opts.ruleAlpha,
-		RefLevels:     t.opts.refLevels,
-		NewForecaster: factory,
-		Lambda:        t.opts.lambda,
-		Eta:           t.opts.eta,
-		Tree:          t.tree,
-	}
 	var err error
-	switch t.opts.algorithm {
-	case AlgorithmSTA:
-		t.engine, err = algo.NewSTA(cfg)
-	default:
-		t.engine, err = algo.NewADA(cfg)
-	}
+	t.engine, err = t.newEngine()
 	if err != nil {
 		return err
 	}
@@ -356,6 +344,27 @@ func (t *Tiresias) Reset() {
 	t.xi = 0
 	t.lastState = nil
 	t.tree = hierarchy.New()
+}
+
+// newEngine constructs the Step-2 engine from the current options and
+// the learned seasonality (t.periods/t.xi must be set first). Shared
+// by Warmup and checkpoint restore so the two paths cannot drift.
+func (t *Tiresias) newEngine() (algo.Engine, error) {
+	cfg := algo.Config{
+		Theta:         t.opts.theta,
+		WindowLen:     t.opts.windowLen,
+		Rule:          t.opts.rule,
+		RuleAlpha:     t.opts.ruleAlpha,
+		RefLevels:     t.opts.refLevels,
+		NewForecaster: t.factory(),
+		Lambda:        t.opts.lambda,
+		Eta:           t.opts.eta,
+		Tree:          t.tree,
+	}
+	if t.opts.algorithm == AlgorithmSTA {
+		return algo.NewSTA(cfg)
+	}
+	return algo.NewADA(cfg)
 }
 
 // analyzeSeasonality runs FFT + wavelet analysis on the aggregate
