@@ -108,6 +108,16 @@ func BenchmarkAblateScales(b *testing.B) { runExperiment(b, "ablate-scales") }
 // path (the paper's O(|tree|) step).
 func BenchmarkADAStep(b *testing.B) { perfbench.ADAStep(b) }
 
+// BenchmarkManagerFeed measures the synchronous single-goroutine
+// Manager.Feed path across a 4-shard fleet (one unit per record).
+func BenchmarkManagerFeed(b *testing.B) { perfbench.ManagerFeed(b) }
+
+// BenchmarkManagerFeedPipelined measures the same workload enqueued to
+// the 4 per-shard pipeline workers (Block policy, drain included); on
+// multi-core hosts it should beat BenchmarkManagerFeed by the worker
+// parallelism.
+func BenchmarkManagerFeedPipelined(b *testing.B) { perfbench.ManagerFeedPipelined(b) }
+
 // BenchmarkADAStepMap measures the same instance entering through the
 // compatibility map-form Step (per-unit Key interning included).
 func BenchmarkADAStepMap(b *testing.B) {

@@ -235,6 +235,15 @@ var ErrNoCheckpoint = errors.New("tiresias: no checkpoint in directory")
 func (m *Manager) Checkpoint(dir string) (int, error) {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
+	// On a pipelined Manager, flush the ingestion queues first: every
+	// record enqueued before this call is windowed into its stream
+	// before the streams are serialized, so a checkpoint never
+	// silently forgets accepted-but-queued records. Records enqueued
+	// while the checkpoint runs may or may not be included — exactly
+	// the guarantee synchronous feeders already have.
+	if m.pipe != nil {
+		m.pipe.drain()
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# check_coverage.sh PROFILE [THRESHOLD]
+#
+# Fails (exit 1) when the total statement coverage of the given Go
+# cover profile is below THRESHOLD percent (default 80). Used by the
+# CI coverage job on the root tiresias package.
+set -eu
+
+profile="${1:?usage: check_coverage.sh PROFILE [THRESHOLD]}"
+threshold="${2:-80}"
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+if [ -z "$total" ]; then
+    echo "check_coverage: no total line in $profile" >&2
+    exit 2
+fi
+
+echo "total statement coverage: ${total}% (threshold ${threshold}%)"
+awk -v t="$total" -v min="$threshold" 'BEGIN { exit (t + 0 < min + 0) ? 1 : 0 }' || {
+    echo "check_coverage: ${total}% is below the ${threshold}% threshold" >&2
+    exit 1
+}

@@ -9,11 +9,24 @@
 //	curl 'localhost:8080/stats'
 //	curl -X POST localhost:8080/v1/records -d '{"stream":"ccd","path":["vho1","io2"],"time":"2010-09-14T08:00:00Z"}'
 //	curl 'localhost:8080/v1/streams'
+//	curl 'localhost:8080/v1/anomalies?stream=ccd&from=2010-09-14T00:00:00Z&limit=20'
+//	curl 'localhost:8080/v1/stats'
 //
-// POST /v1/records accepts one record or a JSON array of records; each
-// carries an optional "stream" name (default "default"). Detected
-// anomalies are returned in the response and appended to the store, so
-// they immediately appear on the dashboard and /anomalies queries.
+// POST /v1/records accepts one record, a JSON array of records, or
+// NDJSON (one record per line; Content-Type application/x-ndjson or
+// auto-detected); each record carries an optional "stream" name
+// (default "default"). Detected anomalies are returned in the
+// response, appended to the store, and recorded in the bounded
+// queryable index behind GET /v1/anomalies.
+//
+// With -queue N the server ingests through the Manager's pipelined
+// mode: POST /v1/records enqueues batches to per-shard workers and
+// returns immediately ("queued": true, no anomalies in the response —
+// query them from /v1/anomalies). -backpressure selects the
+// full-queue policy: "block" stalls the request, "drop-oldest" sheds
+// the oldest queued batch (counted in /v1/stats), "error" turns a
+// full queue into HTTP 429. Append ?wait=1 to drain the pipeline
+// before the response returns (ordering reads after writes).
 //
 // Detectors survive restarts through the checkpoint subsystem:
 //
@@ -28,6 +41,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,28 +49,50 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"tiresias"
 )
 
 func main() {
-	srv, n, err := buildServer(os.Args[1:])
+	srv, drain, n, err := buildServer(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tiresias-serve:", err)
 		os.Exit(1)
 	}
+	// Graceful stop: on SIGINT/SIGTERM stop accepting connections and
+	// wait for in-flight requests, then drain the ingestion pipeline —
+	// in that order, so handlers still enqueueing are not cut off with
+	// a closed pipeline, and every record acknowledged with
+	// "queued": true flows through detection before the process exits.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
 	fmt.Printf("tiresias-serve: %d anomalies loaded, listening on %s\n", n, srv.Addr)
-	if err := srv.ListenAndServe(); err != nil {
+	err = srv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "tiresias-serve:", err)
 		os.Exit(1)
 	}
+	drain()
+	fmt.Println("tiresias-serve: drained, bye")
 }
 
 // buildServer parses flags, loads the store, wires the live-ingest
-// Manager, and returns the configured (unstarted) server plus the
-// number of loaded anomalies.
-func buildServer(args []string) (*http.Server, int, error) {
+// Manager, and returns the configured (unstarted) server, a drain
+// function to run after the server has stopped serving (closes the
+// ingestion pipeline, flushing queued records through detection), and
+// the number of loaded anomalies.
+func buildServer(args []string) (*http.Server, func(), int, error) {
 	fs := flag.NewFlagSet("tiresias-serve", flag.ContinueOnError)
 	var (
 		storePath = fs.String("store", "", "anomaly JSON produced by cmd/tiresias -store")
@@ -68,26 +104,29 @@ func buildServer(args []string) (*http.Server, int, error) {
 		dt        = fs.Float64("dt", 8, "live ingest: absolute threshold DT")
 		shards    = fs.Int("shards", 16, "live ingest: manager lock shards")
 		maxGap    = fs.Int("max-gap", tiresias.DefaultMaxGap, "live ingest: max timeunits one record may gap-fill (<=0 disables)")
+		queue     = fs.Int("queue", 0, "pipelined ingest: per-shard queue depth in batches (0 = synchronous)")
+		policy    = fs.String("backpressure", "block", "pipelined ingest full-queue policy: block | drop-oldest | error")
+		indexCap  = fs.Int("index-cap", 65536, "queryable anomaly index capacity (entries)")
 		ckptDir   = fs.String("checkpoint-dir", "", "directory for stream checkpoints (enables POST /v1/checkpoint)")
 		restore   = fs.Bool("restore", false, "restore all streams from -checkpoint-dir at startup")
 		ckptEvery = fs.Duration("checkpoint-every", 0, "also checkpoint to -checkpoint-dir at this interval (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	if (*restore || *ckptEvery > 0) && *ckptDir == "" {
-		return nil, 0, fmt.Errorf("-restore and -checkpoint-every require -checkpoint-dir")
+		return nil, nil, 0, fmt.Errorf("-restore and -checkpoint-every require -checkpoint-dir")
 	}
 	st := tiresias.NewStore()
 	if *storePath != "" {
 		f, err := os.Open(*storePath)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		err = st.Load(f)
 		f.Close()
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 	}
 	// Every live stream's detector feeds the same store, so live
@@ -102,12 +141,25 @@ func buildServer(args []string) (*http.Server, int, error) {
 	// The Manager builds detectors lazily on first Feed; probe the
 	// configuration now so bad flags fail at startup, not mid-ingest.
 	if _, err := tiresias.New(liveOpts...); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
+	// The bounded index makes detections queryable on /v1/anomalies —
+	// mandatory in pipelined mode (the ingest response carries no
+	// anomalies there) and useful in synchronous mode too.
+	ix := tiresias.NewAnomalyIndex(*indexCap)
 	mgrOpts := []tiresias.ManagerOption{
 		tiresias.WithShards(*shards),
 		tiresias.WithMaxGap(*maxGap),
 		tiresias.WithDetectorOptions(liveOpts...),
+		tiresias.WithAnomalyIndex(ix),
+	}
+	pipelined := *queue > 0
+	if pipelined {
+		bp, err := parsePolicy(*policy)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		mgrOpts = append(mgrOpts, tiresias.WithPipeline(*queue, bp))
 	}
 	var mgr *tiresias.Manager
 	var err error
@@ -128,12 +180,20 @@ func buildServer(args []string) (*http.Server, int, error) {
 		mgr, err = tiresias.NewManager(mgrOpts...)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/records", ingestHandler(mgr))
+	mux.HandleFunc("POST /v1/records", ingestHandler(mgr, pipelined))
 	mux.HandleFunc("GET /v1/streams", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, mgr.Streams())
+	})
+	mux.HandleFunc("GET /v1/anomalies", anomaliesHandler(ix))
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			Manager:  mgr.Stats(),
+			Index:    ix.Stats(),
+			StoreLen: st.Len(),
+		})
 	})
 	mux.HandleFunc("POST /v1/checkpoint", checkpointHandler(mgr, *ckptDir))
 	// The dashboard handler serves the HTML report at "/" and keeps
@@ -168,7 +228,7 @@ func buildServer(args []string) (*http.Server, int, error) {
 			}
 		}()
 	}
-	return srv, st.Len(), nil
+	return srv, func() { _ = mgr.Close() }, st.Len(), nil
 }
 
 // ingestRecord is the POST /v1/records wire format: a stream.Record
@@ -179,19 +239,72 @@ type ingestRecord struct {
 	Time   time.Time `json:"time"`
 }
 
-// ingestResponse summarizes one ingest call.
+// ingestResponse summarizes one ingest call. In pipelined mode
+// Queued is true and Anomalies is empty — detection happens on the
+// workers; query GET /v1/anomalies for results.
 type ingestResponse struct {
 	Accepted  int                `json:"accepted"`
+	Queued    bool               `json:"queued,omitempty"`
 	Anomalies []tiresias.Anomaly `json:"anomalies"`
+}
+
+// statsResponse is the GET /v1/stats payload: manager throughput and
+// queue state, anomaly-index occupancy, and the dashboard store size.
+type statsResponse struct {
+	Manager  tiresias.ManagerStats `json:"manager"`
+	Index    tiresias.IndexStats   `json:"index"`
+	StoreLen int                   `json:"storeLen"`
 }
 
 const maxIngestBody = 8 << 20 // 8 MiB per request
 
-// ingestHandler feeds posted records into the Manager and returns any
-// anomalies their completed timeunits produced.
-func ingestHandler(mgr *tiresias.Manager) http.HandlerFunc {
+// parsePolicy maps the -backpressure flag to a BackpressurePolicy.
+func parsePolicy(s string) (tiresias.BackpressurePolicy, error) {
+	switch s {
+	case "block":
+		return tiresias.Block, nil
+	case "drop-oldest":
+		return tiresias.DropOldest, nil
+	case "error":
+		return tiresias.ErrorWhenFull, nil
+	default:
+		return 0, fmt.Errorf("unknown -backpressure %q (want block, drop-oldest, or error)", s)
+	}
+}
+
+// recordGroup is a run of consecutive posted records for one stream,
+// the unit of batched feeding/enqueueing.
+type recordGroup struct {
+	stream string
+	recs   []tiresias.Record
+}
+
+// groupByStream splits posted records into consecutive same-stream
+// runs, preserving order within and across groups.
+func groupByStream(recs []ingestRecord) []recordGroup {
+	var out []recordGroup
+	for _, rec := range recs {
+		name := rec.Stream
+		if name == "" {
+			name = "default"
+		}
+		r := tiresias.Record{Path: rec.Path, Time: rec.Time}
+		if n := len(out); n > 0 && out[n-1].stream == name {
+			out[n-1].recs = append(out[n-1].recs, r)
+			continue
+		}
+		out = append(out, recordGroup{stream: name, recs: []tiresias.Record{r}})
+	}
+	return out
+}
+
+// ingestHandler feeds posted records into the Manager. Synchronous
+// mode batches per stream through FeedBatch and returns the detected
+// anomalies; pipelined mode enqueues the batches and returns once
+// they are accepted (or, with ?wait=1, processed).
+func ingestHandler(mgr *tiresias.Manager, pipelined bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		recs, err := decodeRecords(r.Body)
+		recs, err := decodeRecords(r.Body, r.Header.Get("Content-Type"))
 		if errors.Is(err, errBodyTooLarge) {
 			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 			return
@@ -213,13 +326,31 @@ func ingestHandler(mgr *tiresias.Manager) http.HandlerFunc {
 				return
 			}
 		}
+		groups := groupByStream(recs)
 		resp := ingestResponse{Anomalies: []tiresias.Anomaly{}}
-		for _, rec := range recs {
-			name := rec.Stream
-			if name == "" {
-				name = "default"
+		if pipelined {
+			resp.Queued = true
+			for _, g := range groups {
+				if err := mgr.EnqueueBatch(g.stream, g.recs); err != nil {
+					status := http.StatusServiceUnavailable
+					if errors.Is(err, tiresias.ErrQueueFull) {
+						status = http.StatusTooManyRequests
+					}
+					http.Error(w, fmt.Sprintf("%v (accepted %d)", err, resp.Accepted), status)
+					return
+				}
+				resp.Accepted += len(g.recs)
 			}
-			anoms, err := mgr.Feed(name, tiresias.Record{Path: rec.Path, Time: rec.Time})
+			if r.URL.Query().Get("wait") != "" {
+				mgr.Drain()
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		for _, g := range groups {
+			anoms, n, err := mgr.FeedBatch(g.stream, g.recs)
+			resp.Accepted += n
+			resp.Anomalies = append(resp.Anomalies, anoms...)
 			if err != nil {
 				// Out-of-order and gap errors depend on live stream
 				// state and can only surface mid-feed; report how far
@@ -227,10 +358,57 @@ func ingestHandler(mgr *tiresias.Manager) http.HandlerFunc {
 				http.Error(w, fmt.Sprintf("%v (accepted %d)", err, resp.Accepted), http.StatusBadRequest)
 				return
 			}
-			resp.Accepted++
-			resp.Anomalies = append(resp.Anomalies, anoms...)
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// anomaliesResponse is the GET /v1/anomalies payload. Entries are
+// newest first; Stats reports occupancy and evictions so a client can
+// tell when its time range has partially aged out of the index.
+type anomaliesResponse struct {
+	Entries []tiresias.AnomalyEntry `json:"entries"`
+	Stats   tiresias.IndexStats     `json:"stats"`
+}
+
+// anomaliesHandler serves time-range / stream / subtree queries over
+// the bounded anomaly index.
+func anomaliesHandler(ix *tiresias.AnomalyIndex) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := tiresias.AnomalyQuery{Stream: r.URL.Query().Get("stream"), Limit: 100}
+		if under := r.URL.Query().Get("under"); under != "" {
+			q.Under = tiresias.KeyOf(strings.Split(under, "/"))
+		}
+		var err error
+		if v := r.URL.Query().Get("from"); v != "" {
+			if q.From, err = time.Parse(time.RFC3339, v); err != nil {
+				http.Error(w, fmt.Sprintf("bad from: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := r.URL.Query().Get("to"); v != "" {
+			if q.To, err = time.Parse(time.RFC3339, v); err != nil {
+				http.Error(w, fmt.Sprintf("bad to: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := r.URL.Query().Get("since"); v != "" {
+			if q.Since, err = strconv.ParseUint(v, 10, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad since: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := r.URL.Query().Get("limit"); v != "" {
+			if q.Limit, err = strconv.Atoi(v); err != nil {
+				http.Error(w, fmt.Sprintf("bad limit: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		entries := ix.Query(q)
+		if entries == nil {
+			entries = []tiresias.AnomalyEntry{}
+		}
+		writeJSON(w, http.StatusOK, anomaliesResponse{Entries: entries, Stats: ix.Stats()})
 	}
 }
 
@@ -260,8 +438,10 @@ func checkpointHandler(mgr *tiresias.Manager, dir string) http.HandlerFunc {
 // errBodyTooLarge marks an ingest body over maxIngestBody.
 var errBodyTooLarge = fmt.Errorf("request body exceeds %d bytes", maxIngestBody)
 
-// decodeRecords accepts either a single JSON record or a JSON array.
-func decodeRecords(body io.Reader) ([]ingestRecord, error) {
+// decodeRecords accepts a single JSON record, a JSON array, or NDJSON
+// (one record per line — by Content-Type application/x-ndjson, or
+// auto-detected when the body is multiple one-record lines).
+func decodeRecords(body io.Reader, contentType string) ([]ingestRecord, error) {
 	raw, err := io.ReadAll(io.LimitReader(body, maxIngestBody+1))
 	if err != nil {
 		return nil, fmt.Errorf("bad request body: %w", err)
@@ -273,6 +453,9 @@ func decodeRecords(body io.Reader) ([]ingestRecord, error) {
 	if len(trimmed) == 0 {
 		return nil, fmt.Errorf("empty request body")
 	}
+	if strings.Contains(contentType, "ndjson") {
+		return decodeNDJSON(trimmed)
+	}
 	if trimmed[0] == '[' {
 		var recs []ingestRecord
 		if err := json.Unmarshal(trimmed, &recs); err != nil {
@@ -282,9 +465,35 @@ func decodeRecords(body io.Reader) ([]ingestRecord, error) {
 	}
 	var rec ingestRecord
 	if err := json.Unmarshal(trimmed, &rec); err != nil {
+		// A bare NDJSON body (curl --data-binary @records.ndjson with
+		// no content type) fails single-object decoding on the second
+		// line; accept it when every line parses on its own.
+		if recs, ndErr := decodeNDJSON(trimmed); ndErr == nil && len(recs) > 1 {
+			return recs, nil
+		}
 		return nil, fmt.Errorf("bad record: %w", err)
 	}
 	return []ingestRecord{rec}, nil
+}
+
+// decodeNDJSON parses one JSON record per line, skipping blank lines.
+func decodeNDJSON(raw []byte) ([]ingestRecord, error) {
+	var recs []ingestRecord
+	for n, line := range bytes.Split(raw, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec ingestRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("bad record on line %d: %w", n+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("empty request body")
+	}
+	return recs, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -31,7 +32,7 @@ func TestBuildServerLoadsStore(t *testing.T) {
 	}
 	f.Close()
 
-	srv, n, err := buildServer([]string{"-store", path, "-addr", "127.0.0.1:0"})
+	srv, _, n, err := buildServer([]string{"-store", path, "-addr", "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,20 +56,20 @@ func TestBuildServerLoadsStore(t *testing.T) {
 }
 
 func TestBuildServerErrors(t *testing.T) {
-	if _, _, err := buildServer([]string{"-store", "/does/not/exist"}); err == nil {
+	if _, _, _, err := buildServer([]string{"-store", "/does/not/exist"}); err == nil {
 		t.Fatal("missing store must fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := buildServer([]string{"-store", bad}); err == nil {
+	if _, _, _, err := buildServer([]string{"-store", bad}); err == nil {
 		t.Fatal("corrupt store must fail")
 	}
 }
 
 func TestBuildServerEmpty(t *testing.T) {
-	srv, n, err := buildServer(nil)
+	srv, _, n, err := buildServer(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func postJSON(t *testing.T, url string, body string, out any) int {
 }
 
 func TestLiveIngestDetectsAndFeedsDashboard(t *testing.T) {
-	srv, _, err := buildServer([]string{
+	srv, _, _, err := buildServer([]string{
 		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
 	})
 	if err != nil {
@@ -174,7 +175,7 @@ func TestLiveIngestDetectsAndFeedsDashboard(t *testing.T) {
 }
 
 func TestLiveIngestSingleObjectAndErrors(t *testing.T) {
-	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,16 +205,16 @@ func TestLiveIngestSingleObjectAndErrors(t *testing.T) {
 }
 
 func TestBuildServerBadLiveConfig(t *testing.T) {
-	if _, _, err := buildServer([]string{"-window", "1"}); err == nil {
+	if _, _, _, err := buildServer([]string{"-window", "1"}); err == nil {
 		t.Fatal("bad live window must fail buildServer")
 	}
-	if _, _, err := buildServer([]string{"-shards", "0"}); err == nil {
+	if _, _, _, err := buildServer([]string{"-shards", "0"}); err == nil {
 		t.Fatal("zero shards must fail buildServer")
 	}
 }
 
 func TestLiveIngestRejectsMissingTime(t *testing.T) {
-	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestLiveIngestRejectsMissingTime(t *testing.T) {
 }
 
 func TestLiveIngestOversizedBodyIs413(t *testing.T) {
-	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestLiveIngestOversizedBodyIs413(t *testing.T) {
 }
 
 func TestLiveIngestBatchValidationHasNoSideEffects(t *testing.T) {
-	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8",
 		"-theta", "0.5", "-rt", "2", "-dt", "5", "-checkpoint-dir", dir,
 	}
-	srv, _, err := buildServer(args)
+	srv, _, _, err := buildServer(args)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 	ts.Close()
 
 	// Restart from the checkpoint and keep ingesting where we left off.
-	srv2, _, err := buildServer(append(args, "-restore"))
+	srv2, _, _, err := buildServer(append(args, "-restore"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 
 // TestCheckpointEndpointDisabled checks the no-dir and bad-flag cases.
 func TestCheckpointEndpointDisabled(t *testing.T) {
-	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0"})
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,15 +362,220 @@ func TestCheckpointEndpointDisabled(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/v1/checkpoint", "", &out); code != http.StatusConflict {
 		t.Fatalf("checkpoint without -checkpoint-dir: status = %d, want 409", code)
 	}
-	if _, _, err := buildServer([]string{"-restore"}); err == nil {
+	if _, _, _, err := buildServer([]string{"-restore"}); err == nil {
 		t.Fatal("-restore without -checkpoint-dir must fail")
 	}
-	if _, _, err := buildServer([]string{"-checkpoint-every", "1m"}); err == nil {
+	if _, _, _, err := buildServer([]string{"-checkpoint-every", "1m"}); err == nil {
 		t.Fatal("-checkpoint-every without -checkpoint-dir must fail")
 	}
 	// First boot of a durable deployment: -restore over an empty
 	// directory starts cold instead of crash-looping the service.
-	if _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-checkpoint-dir", t.TempDir(), "-restore"}); err != nil {
+	if _, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-checkpoint-dir", t.TempDir(), "-restore"}); err != nil {
 		t.Fatalf("-restore from an empty directory must cold-start, got %v", err)
+	}
+}
+
+// ndjsonBody renders records as NDJSON: warmupUnits steady minutes on
+// one stream, a 50-record burst, and a boundary-crossing closer.
+func ndjsonBody(streamName string, warmupUnits int) string {
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	line := func(at time.Time) {
+		fmt.Fprintf(&b, `{"stream":%q,"path":["vho1","io2"],"time":%q}`+"\n", streamName, at.Format(time.RFC3339))
+	}
+	for u := 0; u < warmupUnits; u++ {
+		line(base.Add(time.Duration(u) * time.Minute))
+	}
+	for i := 0; i < 50; i++ {
+		line(base.Add(time.Duration(warmupUnits) * time.Minute))
+	}
+	line(base.Add(time.Duration(warmupUnits+1) * time.Minute))
+	return b.String()
+}
+
+func TestNDJSONIngestAndAnomalyQuery(t *testing.T) {
+	srv, _, _, err := buildServer([]string{
+		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	body := ndjsonBody("ccd", 30)
+	resp, err := http.Post(ts.URL+"/v1/records", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Accepted  int               `json:"accepted"`
+		Anomalies []json.RawMessage `json:"anomalies"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson ingest status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ing.Accepted != 81 || len(ing.Anomalies) == 0 {
+		t.Fatalf("accepted = %d anomalies = %d", ing.Accepted, len(ing.Anomalies))
+	}
+
+	// The same detections are queryable from the index, newest first.
+	var q struct {
+		Entries []struct {
+			Seq    uint64    `json:"seq"`
+			Stream string    `json:"stream"`
+			Time   time.Time `json:"time"`
+		} `json:"entries"`
+		Stats struct {
+			Added uint64 `json:"added"`
+		} `json:"stats"`
+	}
+	getJSON := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+	if code := getJSON(ts.URL + "/v1/anomalies?stream=ccd"); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if len(q.Entries) != len(ing.Anomalies) || q.Entries[0].Stream != "ccd" {
+		t.Fatalf("index entries = %d, ingest anomalies = %d", len(q.Entries), len(ing.Anomalies))
+	}
+	// Time-range filter excludes everything before the burst.
+	if code := getJSON(ts.URL + "/v1/anomalies?from=2010-09-14T00:30:00Z&to=2010-09-14T00:31:00Z"); code != http.StatusOK {
+		t.Fatalf("range query status = %d", code)
+	}
+	if len(q.Entries) == 0 {
+		t.Fatal("burst unit not matched by time-range query")
+	}
+	// An unrelated stream matches nothing.
+	if getJSON(ts.URL + "/v1/anomalies?stream=nope"); len(q.Entries) != 0 {
+		t.Fatalf("stream filter leaked %d entries", len(q.Entries))
+	}
+	// Bad parameters are 400s.
+	for _, bad := range []string{"?from=yesterday", "?limit=ten", "?since=-1", "?to=nope"} {
+		if code := getJSON(ts.URL + "/v1/anomalies" + bad); code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestNDJSONAutoDetected(t *testing.T) {
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	// Two single-line records, no NDJSON content type.
+	body := `{"path":["a"],"time":"2010-09-14T00:00:00Z"}` + "\n" + `{"path":["a"],"time":"2010-09-14T00:01:00Z"}`
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/records", body, &ing); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ing.Accepted != 2 {
+		t.Fatalf("accepted = %d, want 2", ing.Accepted)
+	}
+}
+
+func TestPipelinedIngestEndToEnd(t *testing.T) {
+	srv, _, _, err := buildServer([]string{
+		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
+		"-queue", "64", "-backpressure", "block",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	body := ndjsonBody("stb", 30)
+	// ?wait=1 drains the pipeline before the response, so the index
+	// read below is ordered after detection.
+	resp, err := http.Post(ts.URL+"/v1/records?wait=1", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Accepted  int               `json:"accepted"`
+		Queued    bool              `json:"queued"`
+		Anomalies []json.RawMessage `json:"anomalies"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipelined ingest status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ing.Accepted != 81 || !ing.Queued || len(ing.Anomalies) != 0 {
+		t.Fatalf("pipelined response = %+v", ing)
+	}
+
+	var q struct {
+		Entries []json.RawMessage `json:"entries"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/anomalies?stream=stb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&q)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Entries) == 0 {
+		t.Fatal("pipelined detections not queryable after ?wait=1")
+	}
+
+	var st struct {
+		Manager struct {
+			Pipelined bool   `json:"pipelined"`
+			Policy    string `json:"policy"`
+			Records   uint64 `json:"records"`
+			Enqueued  uint64 `json:"enqueued"`
+		} `json:"manager"`
+		Index struct {
+			Added uint64 `json:"added"`
+		} `json:"index"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Manager.Pipelined || st.Manager.Policy != "block" {
+		t.Fatalf("/v1/stats manager = %+v", st.Manager)
+	}
+	if st.Manager.Records != 81 || st.Manager.Enqueued != 81 {
+		t.Fatalf("throughput counters = %+v", st.Manager)
+	}
+	if st.Index.Added == 0 {
+		t.Fatal("/v1/stats index added = 0")
+	}
+}
+
+func TestBuildServerBadBackpressure(t *testing.T) {
+	if _, _, _, err := buildServer([]string{"-queue", "8", "-backpressure", "sometimes"}); err == nil {
+		t.Fatal("unknown backpressure policy must fail buildServer")
 	}
 }

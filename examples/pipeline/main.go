@@ -1,0 +1,113 @@
+// Pipeline demonstrates the at-scale ingestion layer: a pipelined
+// Manager (per-shard worker goroutines behind bounded queues) fed
+// batches from several concurrent producers, with every detection
+// recorded in a bounded queryable AnomalyIndex. It shows the three
+// things the synchronous quickstarts cannot: asynchronous enqueue
+// with backpressure, the Drain barrier that orders reads after
+// writes, and post-hoc anomaly queries by stream / time range /
+// subtree instead of catching return values.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"tiresias"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		streams  = 4
+		warmLen  = 32
+		liveLen  = 64
+		burstAt  = 48 // unit index of the injected burst, per stream
+		perUnit  = 4  // steady records per timeunit
+		burstMul = 20
+	)
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+
+	ix := tiresias.NewAnomalyIndex(4096)
+	m, err := tiresias.NewManager(
+		tiresias.WithShards(streams),
+		tiresias.WithPipeline(64, tiresias.Block), // lossless: producers stall when full
+		tiresias.WithAnomalyIndex(ix),
+		tiresias.WithDetectorOptions(
+			tiresias.WithDelta(time.Minute),
+			tiresias.WithWindowLen(warmLen),
+			tiresias.WithTheta(0.5),
+			tiresias.WithSeasonality(1.0, 8),
+			tiresias.WithThresholds(tiresias.Thresholds{RT: 2.0, DT: 5}),
+		),
+	)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	// One producer goroutine per stream, each enqueueing its feed in
+	// unit-sized batches. Only stream-2 carries a burst.
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			name := fmt.Sprintf("pop-%d", s)
+			for u := 0; u < warmLen+liveLen; u++ {
+				n := perUnit
+				if s == 2 && u == burstAt {
+					n *= burstMul
+				}
+				batch := make([]tiresias.Record, 0, n)
+				for i := 0; i < n; i++ {
+					batch = append(batch, tiresias.Record{
+						Path: []string{"vho1", fmt.Sprintf("io%d", i%4)},
+						Time: base.Add(time.Duration(u) * time.Minute),
+					})
+				}
+				if err := m.EnqueueBatch(name, batch); err != nil {
+					log.Println("enqueue:", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Barrier: every enqueued record is processed before we read.
+	m.Drain()
+
+	st := m.Stats()
+	fmt.Printf("pipeline: %d records through %d shards (%d enqueued, %d dropped, %d failed)\n",
+		st.Records, len(st.Shards), st.Enqueued, st.Dropped, st.Failed)
+
+	// Query the burst window on the bursty stream only.
+	hits := ix.Query(tiresias.AnomalyQuery{
+		Stream: "pop-2",
+		From:   base.Add(burstAt * time.Minute),
+		To:     base.Add((burstAt + 1) * time.Minute),
+	})
+	fmt.Printf("pop-2 burst unit: %d anomalies indexed (newest first)\n", len(hits))
+	for _, e := range hits {
+		fmt.Printf("  seq=%d %s actual=%.1f forecast=%.1f\n", e.Seq, e.Key, e.Actual, e.Forecast)
+	}
+	if len(hits) == 0 {
+		return fmt.Errorf("burst not detected — expected anomalies in pop-2's burst unit")
+	}
+
+	// The quiet streams contributed (almost) nothing to the index.
+	quiet := ix.Query(tiresias.AnomalyQuery{Stream: "pop-0"})
+	ixStats := ix.Stats()
+	fmt.Printf("pop-0 (quiet): %d anomalies; index holds %d/%d entries (%d evicted)\n",
+		len(quiet), ixStats.Len, ixStats.Capacity, ixStats.Evicted)
+	return nil
+}

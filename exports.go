@@ -8,6 +8,7 @@ import (
 	"tiresias/internal/detect"
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/report"
+	"tiresias/internal/store"
 	"tiresias/internal/stream"
 )
 
@@ -64,6 +65,29 @@ type Store = report.Store
 
 // NewStore returns an empty anomaly store.
 func NewStore() *Store { return report.NewStore() }
+
+// AnomalyIndex is a bounded, concurrency-safe ring buffer of recent
+// detections tagged with their stream of origin, queryable by stream,
+// time range, and hierarchy subtree, with eviction accounted for in
+// its stats. Attach one to a Manager with WithAnomalyIndex (or to a
+// single detector with NewIndexSink).
+type AnomalyIndex = store.Index
+
+// AnomalyEntry is one indexed anomaly: the detection plus its stream
+// name and insertion sequence number.
+type AnomalyEntry = store.Entry
+
+// AnomalyQuery filters AnomalyIndex entries; zero-valued fields match
+// everything.
+type AnomalyQuery = store.Query
+
+// IndexStats describes an AnomalyIndex's occupancy and eviction
+// accounting.
+type IndexStats = store.Stats
+
+// NewAnomalyIndex returns an empty AnomalyIndex retaining at most
+// capacity entries (capacity <= 0 selects store.DefaultCapacity).
+func NewAnomalyIndex(capacity int) *AnomalyIndex { return store.New(capacity) }
 
 // NewSliceSource copies records (sorting by time) into a Source.
 func NewSliceSource(records []Record) Source { return stream.NewSliceSource(records) }

@@ -1,0 +1,95 @@
+package perfbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Comparison is the verdict for one benchmark present in both reports.
+type Comparison struct {
+	// Name is the benchmark name.
+	Name string `json:"name"`
+	// OldNs / NewNs are the two ns/op measurements.
+	OldNs float64 `json:"old_ns_per_op"`
+	NewNs float64 `json:"new_ns_per_op"`
+	// Ratio is NewNs / OldNs (1.0 = unchanged, 2.0 = twice as slow).
+	Ratio float64 `json:"ratio"`
+	// OldAllocs / NewAllocs are the two allocs/op measurements.
+	OldAllocs int64 `json:"old_allocs_per_op"`
+	NewAllocs int64 `json:"new_allocs_per_op"`
+	// Regressed marks a tolerance violation on time or allocations.
+	Regressed bool `json:"regressed"`
+	// Reason explains the violation ("" when not regressed).
+	Reason string `json:"reason,omitempty"`
+}
+
+// CompareResult is the outcome of comparing two benchmark reports.
+type CompareResult struct {
+	// Comparisons holds one row per benchmark present in both
+	// reports, sorted by name.
+	Comparisons []Comparison `json:"comparisons"`
+	// OnlyOld / OnlyNew list benchmarks present in one report only
+	// (renamed, added, or retired) — reported, never gated on.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// Regressed reports whether any comparison violated tolerance.
+	Regressed bool `json:"regressed"`
+}
+
+// Compare checks every benchmark present in both reports against a
+// relative tolerance: a regression is NewNs > OldNs·(1+tol), or an
+// allocation-count increase beyond the same proportional bound
+// (allocations are machine-independent, so this side of the gate is
+// meaningful even when the two reports come from different hosts).
+// Benchmarks present in only one report are listed but never gate.
+func Compare(oldRep, newRep Report, tol float64) CompareResult {
+	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Result, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newBy[b.Name] = b
+	}
+	var res CompareResult
+	for name, ob := range oldBy {
+		nb, ok := newBy[name]
+		if !ok {
+			res.OnlyOld = append(res.OnlyOld, name)
+			continue
+		}
+		c := Comparison{
+			Name:      name,
+			OldNs:     ob.NsPerOp,
+			NewNs:     nb.NsPerOp,
+			OldAllocs: ob.AllocsPerOp,
+			NewAllocs: nb.AllocsPerOp,
+		}
+		if ob.NsPerOp > 0 {
+			c.Ratio = nb.NsPerOp / ob.NsPerOp
+		}
+		var reasons []string
+		if nb.NsPerOp > ob.NsPerOp*(1+tol) {
+			reasons = append(reasons, fmt.Sprintf("time %.1f ns/op exceeds %.1f ns/op by more than %.0f%%", nb.NsPerOp, ob.NsPerOp, tol*100))
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp && float64(nb.AllocsPerOp) > float64(ob.AllocsPerOp)*(1+tol) {
+			reasons = append(reasons, fmt.Sprintf("allocs %d/op exceeds %d/op by more than %.0f%%", nb.AllocsPerOp, ob.AllocsPerOp, tol*100))
+		}
+		if len(reasons) > 0 {
+			c.Regressed = true
+			c.Reason = strings.Join(reasons, "; ")
+			res.Regressed = true
+		}
+		res.Comparisons = append(res.Comparisons, c)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			res.OnlyNew = append(res.OnlyNew, name)
+		}
+	}
+	sort.Slice(res.Comparisons, func(i, j int) bool { return res.Comparisons[i].Name < res.Comparisons[j].Name })
+	sort.Strings(res.OnlyOld)
+	sort.Strings(res.OnlyNew)
+	return res
+}

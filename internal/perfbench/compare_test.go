@@ -1,0 +1,57 @@
+package perfbench
+
+import "testing"
+
+func rep(rs ...Result) Report {
+	return Report{GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64", Benchmarks: rs}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldRep := rep(Result{Name: "Step", NsPerOp: 100, AllocsPerOp: 10})
+	newRep := rep(Result{Name: "Step", NsPerOp: 110, AllocsPerOp: 11})
+	res := Compare(oldRep, newRep, 0.15)
+	if res.Regressed {
+		t.Fatalf("within tolerance flagged: %+v", res)
+	}
+	if len(res.Comparisons) != 1 || res.Comparisons[0].Ratio != 1.1 {
+		t.Fatalf("comparisons = %+v", res.Comparisons)
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	oldRep := rep(Result{Name: "Step", NsPerOp: 100})
+	newRep := rep(Result{Name: "Step", NsPerOp: 116})
+	res := Compare(oldRep, newRep, 0.15)
+	if !res.Regressed || !res.Comparisons[0].Regressed || res.Comparisons[0].Reason == "" {
+		t.Fatalf("16%% slowdown at 15%% tolerance not flagged: %+v", res)
+	}
+	// The same delta passes at a looser tolerance.
+	if res := Compare(oldRep, newRep, 0.20); res.Regressed {
+		t.Fatalf("16%% slowdown at 20%% tolerance flagged: %+v", res)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	oldRep := rep(Result{Name: "Step", NsPerOp: 100, AllocsPerOp: 0})
+	newRep := rep(Result{Name: "Step", NsPerOp: 100, AllocsPerOp: 3})
+	res := Compare(oldRep, newRep, 0.15)
+	if !res.Regressed {
+		t.Fatalf("alloc-free benchmark growing allocations not flagged: %+v", res)
+	}
+	// Improvements never regress.
+	if res := Compare(newRep, oldRep, 0.15); res.Regressed {
+		t.Fatalf("improvement flagged: %+v", res)
+	}
+}
+
+func TestCompareDisjointNamesNeverGate(t *testing.T) {
+	oldRep := rep(Result{Name: "Retired", NsPerOp: 1})
+	newRep := rep(Result{Name: "Added", NsPerOp: 1_000_000})
+	res := Compare(oldRep, newRep, 0.15)
+	if res.Regressed || len(res.Comparisons) != 0 {
+		t.Fatalf("disjoint reports must not gate: %+v", res)
+	}
+	if len(res.OnlyOld) != 1 || res.OnlyOld[0] != "Retired" || len(res.OnlyNew) != 1 || res.OnlyNew[0] != "Added" {
+		t.Fatalf("unmatched names not reported: %+v", res)
+	}
+}

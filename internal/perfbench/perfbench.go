@@ -134,6 +134,8 @@ func Specs() []Spec {
 		{"ADAStep", ADAStep},
 		{"STAStep", STAStep},
 		{"WindowerObserve", WindowerObserve},
+		{"ManagerFeed", ManagerFeed},
+		{"ManagerFeedPipelined", ManagerFeedPipelined},
 	}
 }
 

@@ -1,0 +1,184 @@
+// Package store implements the queryable anomaly index behind the
+// serving layer: a concurrency-safe, bounded ring buffer of detected
+// anomalies tagged with their stream of origin. Where internal/report
+// is the paper's persistent anomaly database (Steps 5–6, JSON on
+// disk), this package is the operational hot store — recent detections
+// kept in memory at fixed cost, queryable by stream, time range, and
+// hierarchy subtree, with eviction accounted for rather than hidden.
+//
+// The index is the natural sink for a pipelined Manager: workers
+// append under their own locks, dashboards and pollers read
+// concurrently, and when the buffer is full the oldest entries are
+// evicted (and counted) instead of growing without bound.
+package store
+
+import (
+	"sync"
+	"time"
+
+	"tiresias/internal/detect"
+	"tiresias/internal/hierarchy"
+)
+
+// DefaultCapacity bounds an Index built with New(0).
+const DefaultCapacity = 65536
+
+// Entry is one indexed anomaly: the detection itself plus the stream
+// it came from and a monotonically increasing sequence number assigned
+// at insertion. Seq orders entries across streams and supports
+// incremental polling (Query.Since).
+type Entry struct {
+	// Seq is the insertion sequence number, unique and increasing
+	// for the lifetime of the Index (never reused after eviction).
+	Seq uint64 `json:"seq"`
+	// Stream names the originating stream ("" for a bare detector).
+	Stream string `json:"stream"`
+	detect.Anomaly
+}
+
+// Stats describes the occupancy and loss accounting of an Index.
+type Stats struct {
+	// Capacity is the fixed maximum number of retained entries.
+	Capacity int `json:"capacity"`
+	// Len is the number of entries currently retained.
+	Len int `json:"len"`
+	// Added is the total number of entries ever inserted.
+	Added uint64 `json:"added"`
+	// Evicted is the number of entries overwritten by newer ones;
+	// Added - Evicted == Len.
+	Evicted uint64 `json:"evicted"`
+}
+
+// Index is a bounded, concurrency-safe anomaly ring buffer. Insertion
+// order is retention order: when full, each Add evicts the oldest
+// entry. The zero value is not usable; construct with New.
+type Index struct {
+	mu      sync.RWMutex
+	buf     []Entry // grows to cap, then wraps
+	cap     int
+	start   int // position of the oldest entry once wrapped
+	count   int
+	added   uint64
+	evicted uint64
+	seq     uint64
+}
+
+// New returns an empty Index retaining at most capacity entries;
+// capacity <= 0 selects DefaultCapacity. The buffer grows lazily, so
+// a large capacity costs memory only as entries accumulate.
+func New(capacity int) *Index {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Index{cap: capacity}
+}
+
+// Add inserts anomalies from the named stream, evicting the oldest
+// entries if the index is full. Safe for concurrent use.
+func (x *Index) Add(stream string, anoms ...detect.Anomaly) {
+	if len(anoms) == 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, a := range anoms {
+		x.seq++
+		e := Entry{Seq: x.seq, Stream: stream, Anomaly: a}
+		if x.count < x.cap {
+			x.buf = append(x.buf, e)
+			x.count++
+		} else {
+			x.buf[x.start] = e
+			x.start = (x.start + 1) % x.cap
+			x.evicted++
+		}
+		x.added++
+	}
+}
+
+// at returns the i-th retained entry, oldest first (0 <= i < count).
+func (x *Index) at(i int) Entry {
+	return x.buf[(x.start+i)%len(x.buf)]
+}
+
+// Len returns the number of retained entries.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.count
+}
+
+// Stats returns a point-in-time occupancy snapshot.
+func (x *Index) Stats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return Stats{Capacity: x.cap, Len: x.count, Added: x.added, Evicted: x.evicted}
+}
+
+// Query filters retained entries. Zero-valued fields match everything.
+type Query struct {
+	// Stream restricts to one stream name ("" matches all).
+	Stream string
+	// Under restricts to the hierarchy subtree rooted at this key
+	// (inclusive).
+	Under hierarchy.Key
+	// From/To bound the anomaly timestamp: From inclusive, To
+	// exclusive; a zero time leaves that side unbounded. Entries
+	// with a zero Time (no wall-clock anchor) only match unbounded
+	// ranges.
+	From, To time.Time
+	// Since restricts to entries with Seq > Since — the incremental
+	// polling cursor: pass the largest Seq already seen.
+	Since uint64
+	// Limit caps the number of returned entries; <= 0 means all.
+	Limit int
+}
+
+func (q Query) matches(e Entry) bool {
+	if q.Stream != "" && e.Stream != q.Stream {
+		return false
+	}
+	if q.Under != "" && !q.Under.IsAncestorOf(e.Key) {
+		return false
+	}
+	if e.Time.IsZero() {
+		// No wall-clock anchor: matches only unbounded ranges, per
+		// the Query contract.
+		if !q.From.IsZero() || !q.To.IsZero() {
+			return false
+		}
+	} else {
+		if !q.From.IsZero() && e.Time.Before(q.From) {
+			return false
+		}
+		if !q.To.IsZero() && !e.Time.Before(q.To) {
+			return false
+		}
+	}
+	if e.Seq <= q.Since {
+		return false
+	}
+	return true
+}
+
+// Query returns the matching entries, newest first (descending Seq).
+// A Limit keeps the newest matches. The result is a copy; the caller
+// owns it.
+func (x *Index) Query(q Query) []Entry {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []Entry
+	for i := x.count - 1; i >= 0; i-- {
+		e := x.at(i)
+		if e.Seq <= q.Since {
+			break // entries are seq-ordered; nothing older matches
+		}
+		if q.matches(e) {
+			out = append(out, e)
+			if q.Limit > 0 && len(out) == q.Limit {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tiresias/internal/detect"
+	"tiresias/internal/hierarchy"
+)
+
+func anom(path string, at time.Time) detect.Anomaly {
+	k := hierarchy.KeyOf(strings.Split(path, "/"))
+	return detect.Anomaly{Key: k, Time: at, Depth: k.Depth()}
+}
+
+func base() time.Time { return time.Date(2010, 9, 14, 8, 0, 0, 0, time.UTC) }
+
+func TestAddQueryNewestFirst(t *testing.T) {
+	x := New(16)
+	b := base()
+	for i := 0; i < 5; i++ {
+		x.Add("ccd", anom("vho1/io1", b.Add(time.Duration(i)*time.Minute)))
+	}
+	got := x.Query(Query{})
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq >= got[i-1].Seq {
+			t.Fatalf("not newest-first: seq[%d]=%d, seq[%d]=%d", i-1, got[i-1].Seq, i, got[i].Seq)
+		}
+	}
+	if got[0].Seq != 5 || got[0].Stream != "ccd" {
+		t.Fatalf("newest = %+v", got[0])
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	x := New(64)
+	b := base()
+	x.Add("ccd", anom("vho1/io1", b))
+	x.Add("ccd", anom("vho2/io3", b.Add(10*time.Minute)))
+	x.Add("stb", anom("vho1/io2", b.Add(20*time.Minute)))
+
+	if got := x.Query(Query{Stream: "stb"}); len(got) != 1 || got[0].Stream != "stb" {
+		t.Fatalf("stream filter: %+v", got)
+	}
+	if got := x.Query(Query{Under: hierarchy.KeyOf([]string{"vho1"})}); len(got) != 2 {
+		t.Fatalf("subtree filter: %+v", got)
+	}
+	if got := x.Query(Query{From: b.Add(5 * time.Minute), To: b.Add(15 * time.Minute)}); len(got) != 1 || got[0].Key.String() != "vho2/io3" {
+		t.Fatalf("time range: %+v", got)
+	}
+	// From is inclusive, To exclusive.
+	if got := x.Query(Query{From: b, To: b.Add(10 * time.Minute)}); len(got) != 1 || got[0].Key.String() != "vho1/io1" {
+		t.Fatalf("boundary semantics: %+v", got)
+	}
+	if got := x.Query(Query{Limit: 2}); len(got) != 2 || got[0].Seq != 3 {
+		t.Fatalf("limit keeps newest: %+v", got)
+	}
+	if got := x.Query(Query{Since: 2}); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("since cursor: %+v", got)
+	}
+}
+
+func TestZeroTimeEntriesOnlyMatchUnboundedRanges(t *testing.T) {
+	x := New(8)
+	b := base()
+	x.Add("s", anom("vho1", time.Time{})) // no wall-clock anchor
+	x.Add("s", anom("vho2", b))
+	if got := x.Query(Query{}); len(got) != 2 {
+		t.Fatalf("unbounded query: %+v", got)
+	}
+	// Any time bound — From, To, or both — excludes unanchored entries.
+	for name, q := range map[string]Query{
+		"from": {From: b.Add(-time.Hour)},
+		"to":   {To: b.Add(time.Hour)},
+		"both": {From: b.Add(-time.Hour), To: b.Add(time.Hour)},
+	} {
+		got := x.Query(q)
+		if len(got) != 1 || got[0].Key.String() != "vho2" {
+			t.Fatalf("%s-bounded query leaked zero-Time entry: %+v", name, got)
+		}
+	}
+}
+
+func TestEvictionWraps(t *testing.T) {
+	x := New(4)
+	b := base()
+	for i := 0; i < 10; i++ {
+		x.Add("s", anom(fmt.Sprintf("vho%d", i), b.Add(time.Duration(i)*time.Minute)))
+	}
+	st := x.Stats()
+	if st.Capacity != 4 || st.Len != 4 || st.Added != 10 || st.Evicted != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Added-st.Evicted != uint64(st.Len) {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	got := x.Query(Query{})
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	// The four newest survive, newest first.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if got[i].Seq != want {
+			t.Fatalf("entry %d seq = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+}
+
+func TestBatchAdd(t *testing.T) {
+	x := New(8)
+	b := base()
+	x.Add("s", anom("a", b), anom("b", b), anom("c", b))
+	if x.Len() != 3 {
+		t.Fatalf("len = %d, want 3", x.Len())
+	}
+	x.Add("s") // empty batch is a no-op
+	if st := x.Stats(); st.Added != 3 {
+		t.Fatalf("added = %d, want 3", st.Added)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := New(0).Stats().Capacity; got != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(-3).Stats().Capacity; got != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestConcurrentAddQuery(t *testing.T) {
+	x := New(128)
+	b := base()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stream := fmt.Sprintf("s%d", g)
+			for i := 0; i < 200; i++ {
+				x.Add(stream, anom("vho1/io1", b.Add(time.Duration(i)*time.Second)))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			x.Query(Query{Stream: "s0", Limit: 10})
+			x.Stats()
+		}
+	}()
+	wg.Wait()
+	st := x.Stats()
+	if st.Added != 800 || st.Len != 128 || st.Evicted != 800-128 {
+		t.Fatalf("stats after concurrent adds = %+v", st)
+	}
+	// Seqs of retained entries are the 128 newest, in order.
+	got := x.Query(Query{})
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq >= got[i-1].Seq {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package tiresias
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,12 @@ type Manager struct {
 	factory func(stream string) (*Tiresias, error)
 	maxGap  int
 
+	// pipe is the asynchronous ingestion layer (nil unless built
+	// with WithPipeline); index is the attached anomaly store (nil
+	// unless built with WithAnomalyIndex).
+	pipe  *pipeline
+	index *AnomalyIndex
+
 	// detectorOpts is the raw Option set given via WithDetectorOptions,
 	// retained so ManagerFromCheckpoint can re-apply it (sinks, ...) to
 	// restored detectors; nil when a bare factory was supplied.
@@ -34,6 +41,45 @@ type Manager struct {
 type managerShard struct {
 	mu      sync.Mutex
 	streams map[string]*managedStream
+
+	// dropped tombstones stream names removed by Drop, so a late
+	// Feed cannot silently respawn a fresh (cold, warmup-restarting)
+	// detector under a retired name; see ErrStreamDropped.
+	dropped map[string]struct{}
+
+	// records / anomalies count detection throughput on this shard
+	// across every ingestion path (under mu).
+	records   uint64
+	anomalies uint64
+}
+
+// getOrCreate returns the named stream, creating its detector and
+// windower on first use. The shard lock must be held. A tombstoned
+// name (see Drop) is refused with ErrStreamDropped.
+func (sh *managerShard) getOrCreate(m *Manager, streamName string) (*managedStream, error) {
+	if ms, ok := sh.streams[streamName]; ok {
+		return ms, nil
+	}
+	if _, dead := sh.dropped[streamName]; dead {
+		return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, ErrStreamDropped)
+	}
+	det, err := m.factory(streamName)
+	if err != nil {
+		return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+	}
+	w, err := stream.NewWindower(det.Delta())
+	if err != nil {
+		return nil, err
+	}
+	// The windower interns paths into the detector's tree and emits
+	// pooled dense units, so the warm per-record path is
+	// allocation-free; the Manager-level gap bound guards the ingest
+	// endpoint.
+	w.SetMaxGap(m.maxGap)
+	w.BindTree(det.tree)
+	ms := &managedStream{det: det, w: w}
+	sh.streams[streamName] = ms
+	return ms, nil
 }
 
 // managedStream is one tenant: a detector plus its windowing state.
@@ -53,6 +99,10 @@ type managerOptions struct {
 	maxGap       int
 	factory      func(stream string) (*Tiresias, error)
 	detectorOpts []Option
+	pipelined    bool
+	queueDepth   int
+	policy       BackpressurePolicy
+	index        *AnomalyIndex
 }
 
 // DefaultMaxGap bounds how many timeunits a single record may
@@ -138,62 +188,123 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 	if o.factory == nil {
 		o.factory = func(string) (*Tiresias, error) { return New() }
 	}
+	if o.pipelined && o.queueDepth < 1 {
+		return nil, fmt.Errorf("tiresias: pipeline queue depth must be >= 1, got %d", o.queueDepth)
+	}
+	switch o.policy {
+	case Block, DropOldest, ErrorWhenFull:
+	default:
+		return nil, fmt.Errorf("tiresias: unknown backpressure policy %v", o.policy)
+	}
 	m := &Manager{
 		shards:       make([]managerShard, o.shards),
 		factory:      o.factory,
 		maxGap:       o.maxGap,
 		detectorOpts: o.detectorOpts,
+		index:        o.index,
 	}
 	for i := range m.shards {
 		m.shards[i].streams = make(map[string]*managedStream)
 	}
+	if o.pipelined {
+		m.pipe = newPipeline(m, o.queueDepth, o.policy)
+	}
 	return m, nil
 }
 
-// shardOf picks the shard by FNV-1a of the name, inlined so the Feed
-// hot path allocates nothing.
-func (m *Manager) shardOf(name string) *managerShard {
+// shardIndex picks the shard number by FNV-1a of the name, inlined so
+// the Feed hot path allocates nothing.
+func (m *Manager) shardIndex(name string) int {
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
 	for i := 0; i < len(name); i++ {
 		h ^= uint32(name[i])
 		h *= prime32
 	}
-	return &m.shards[h%uint32(len(m.shards))]
+	return int(h % uint32(len(m.shards)))
+}
+
+func (m *Manager) shardOf(name string) *managerShard {
+	return &m.shards[m.shardIndex(name)]
 }
 
 // Feed ingests one record into the named stream, creating the stream's
 // detector on first use. Completed timeunits warm the detector until
 // its window is full and are screened afterwards; anomalies detected
-// by this call are returned (and delivered to the detector's sinks,
-// if configured). Records within one stream must arrive in time order;
-// different streams are fully independent.
+// by this call are returned (and delivered to the detector's sinks
+// and the Manager's AnomalyIndex, if configured). Records within one
+// stream must arrive in time order; different streams are fully
+// independent. Feeding a stream removed by Drop returns
+// ErrStreamDropped (see Drop for the rationale and Reopen for the
+// escape hatch).
 func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
 	sh := m.shardOf(streamName)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	ms, ok := sh.streams[streamName]
-	if !ok {
-		det, err := m.factory(streamName)
-		if err != nil {
-			return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
-		}
-		w, err := stream.NewWindower(det.Delta())
-		if err != nil {
-			return nil, err
-		}
-		// The windower interns paths into the detector's tree and
-		// emits pooled dense units, so the warm per-record path is
-		// allocation-free; the Manager-level gap bound guards the
-		// ingest endpoint.
-		w.SetMaxGap(m.maxGap)
-		w.BindTree(det.tree)
-		ms = &managedStream{det: det, w: w}
-		sh.streams[streamName] = ms
+	ms, err := sh.getOrCreate(m, streamName)
+	if err != nil {
+		return nil, err
 	}
+	out, err := ms.feed(r)
+	sh.anomalies += uint64(len(out))
+	m.record(streamName, out)
+	if err != nil {
+		return out, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+	}
+	sh.records++
+	return out, nil
+}
+
+// FeedBatch ingests a batch of records (in time order) into the named
+// stream through one shard lookup and one lock acquisition — the
+// synchronous fast path for bulk ingest endpoints and replay. It is
+// equivalent to calling Feed per record: anomalies of all completed
+// timeunits are returned in order, and sinks/index delivery is
+// identical. On a record error the batch stops there; the returned
+// count is the number of records applied, so a caller can resume past
+// the offending record.
+func (m *Manager) FeedBatch(streamName string, recs []Record) ([]Anomaly, int, error) {
+	return m.feedBatch(streamName, recs)
+}
+
+// feedBatch is FeedBatch; it is also the pipeline workers' entry
+// point, kept unexported-callable so the two paths cannot drift.
+func (m *Manager) feedBatch(streamName string, recs []Record) ([]Anomaly, int, error) {
+	if len(recs) == 0 {
+		return nil, 0, nil
+	}
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms, err := sh.getOrCreate(m, streamName)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Anomaly
+	applied := 0
+	for _, r := range recs {
+		anoms, err := ms.feed(r)
+		out = append(out, anoms...)
+		if err != nil {
+			sh.records += uint64(applied)
+			sh.anomalies += uint64(len(out))
+			m.record(streamName, out)
+			return out, applied, fmt.Errorf("tiresias: stream %q: record %d: %w", streamName, applied, err)
+		}
+		applied++
+	}
+	sh.records += uint64(applied)
+	sh.anomalies += uint64(len(out))
+	m.record(streamName, out)
+	return out, applied, nil
+}
+
+// feed ingests one record into the stream: windowing plus detection
+// of any completed units. The shard lock must be held.
+func (ms *managedStream) feed(r Record) ([]Anomaly, error) {
 	done, err := ms.w.ObserveDense(r)
 	if err != nil {
-		return nil, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+		return nil, err
 	}
 	ms.first.observe(ms.w)
 	ms.dirty = true
@@ -201,11 +312,18 @@ func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
 	for _, u := range done {
 		anoms, err := ms.advance(u)
 		if err != nil {
-			return out, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+			return out, err
 		}
 		out = append(out, anoms...)
 	}
 	return out, nil
+}
+
+// record appends detections to the attached AnomalyIndex, if any.
+func (m *Manager) record(streamName string, anoms []Anomaly) {
+	if m.index != nil && len(anoms) > 0 {
+		m.index.Add(streamName, anoms...)
+	}
 }
 
 // advance routes one completed dense unit of a managed stream.
@@ -226,7 +344,15 @@ func (ms *managedStream) advance(u *algo.DenseUnit) ([]Anomaly, error) {
 // no-op — repeated deadline flushes never fabricate empty units. Note
 // that flushing finalizes the current unit: later records must be at
 // or past the next unit's start or they are rejected as out-of-order.
+//
+// On a pipelined Manager, Flush first drains the pipeline, so records
+// enqueued before the call are windowed before the unit is finalized
+// (otherwise they would arrive after their unit closed and be rejected
+// as out-of-order).
 func (m *Manager) Flush(streamName string) ([]Anomaly, error) {
+	if m.pipe != nil {
+		m.pipe.drain()
+	}
 	sh := m.shardOf(streamName)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -236,21 +362,52 @@ func (m *Manager) Flush(streamName string) ([]Anomaly, error) {
 	}
 	ms.dirty = false
 	anoms, err := ms.advance(ms.w.FlushDense())
+	sh.anomalies += uint64(len(anoms))
+	m.record(streamName, anoms)
 	if err != nil {
 		return anoms, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
 	}
 	return anoms, nil
 }
 
-// Drop removes the named stream and its detector, reporting whether it
-// existed.
+// ErrStreamDropped is returned by Feed, FeedBatch, and the pipeline
+// workers (latched in Stats) when records arrive for a stream removed
+// by Drop. Test with errors.Is.
+var ErrStreamDropped = errors.New("tiresias: stream was dropped")
+
+// Drop removes the named stream and its detector, reporting whether
+// it existed. The name is tombstoned: a later Feed of the same name
+// returns ErrStreamDropped instead of silently respawning a cold
+// detector — without the tombstone, one straggler record after a
+// Drop would restart a full warmup window under the retired name and
+// report bogus statuses for weeks. Call Reopen to clear the tombstone
+// when re-use is intended. Tombstones are in-memory only: they do not
+// survive Checkpoint/ManagerFromCheckpoint.
 func (m *Manager) Drop(streamName string) bool {
 	sh := m.shardOf(streamName)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	_, ok := sh.streams[streamName]
+	if ok {
+		if sh.dropped == nil {
+			sh.dropped = make(map[string]struct{})
+		}
+		sh.dropped[streamName] = struct{}{}
+	}
 	delete(sh.streams, streamName)
 	return ok
+}
+
+// Reopen clears the tombstone Drop left for the named stream,
+// reporting whether one existed. After Reopen the next Feed lazily
+// creates a fresh detector (cold, full warmup) under the name.
+func (m *Manager) Reopen(streamName string) bool {
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, dead := sh.dropped[streamName]
+	delete(sh.dropped, streamName)
+	return dead
 }
 
 // Len returns the number of live streams.

@@ -59,6 +59,14 @@ func NewStoreSink(st *Store) Sink {
 	return SinkFuncs{Anomaly: func(a Anomaly) { st.Add(a) }}
 }
 
+// NewIndexSink returns a Sink recording every anomaly into a bounded
+// AnomalyIndex under the given stream name — the single-detector
+// counterpart of Manager's WithAnomalyIndex, for wiring a bare
+// Tiresias (Run/ProcessUnit) into the query API.
+func NewIndexSink(ix *AnomalyIndex, streamName string) Sink {
+	return SinkFuncs{Anomaly: func(a Anomaly) { ix.Add(streamName, a) }}
+}
+
 // NewChannelSink returns a Sink sending every anomaly to ch. The send
 // blocks, applying backpressure to the detector; size the channel (or
 // drain it concurrently) accordingly.

@@ -14,7 +14,12 @@
 //
 // Anomalies can be pushed to Sinks as they are found (WithSink), and a
 // sharded Manager multiplexes many independent streams behind one
-// Feed hot path.
+// Feed hot path. At scale the Manager runs pipelined (WithPipeline):
+// per-shard worker goroutines behind bounded queues ingest
+// asynchronously via Enqueue/EnqueueBatch under a configurable
+// backpressure policy, and detections land in a bounded queryable
+// AnomalyIndex (WithAnomalyIndex) instead of vanishing with the
+// return value.
 //
 // Detectors are durable: Snapshot serializes the full warm state to a
 // versioned binary checkpoint and Restore resumes it mid-stream with
