@@ -1,0 +1,374 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tiresias"
+	"tiresias/api"
+	"tiresias/httpserve"
+)
+
+// newServer boots a real httpserve server tuned for fast detection.
+func newServer(t *testing.T) (*httpserve.Server, *Client) {
+	t.Helper()
+	s, err := httpserve.New(httpserve.Config{
+		Delta:      time.Minute,
+		WindowLen:  8,
+		Theta:      0.5,
+		Thresholds: tiresias.Thresholds{RT: 2, DT: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close()
+	})
+	c, err := New(ts.URL, WithRetry(3, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// ndjson renders a warmup + burst + closer feed for one stream.
+func ndjson(stream string, warmupUnits int) string {
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	line := func(at time.Time) {
+		fmt.Fprintf(&b, `{"stream":%q,"path":["vho1","io2"],"time":%q}`+"\n", stream, at.Format(time.RFC3339))
+	}
+	for u := 0; u < warmupUnits; u++ {
+		line(base.Add(time.Duration(u) * time.Minute))
+	}
+	for i := 0; i < 50; i++ {
+		line(base.Add(time.Duration(warmupUnits) * time.Minute))
+	}
+	line(base.Add(time.Duration(warmupUnits+1) * time.Minute))
+	return b.String()
+}
+
+func TestEndToEndIngestIterateIntrospect(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	resp, err := c.IngestNDJSON(ctx, strings.NewReader(ndjson("ccd", 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 81 || len(resp.Anomalies) == 0 {
+		t.Fatalf("ingest = %+v", resp)
+	}
+
+	// The iterator pages one entry at a time and sees everything.
+	it := c.Anomalies(ctx, AnomalyQuery{Stream: "ccd", PageSize: 1})
+	var seqs []uint64
+	for it.Next() {
+		seqs = append(seqs, it.Entry().Seq)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != len(resp.Anomalies) {
+		t.Fatalf("iterated %d, ingest reported %d", len(seqs), len(resp.Anomalies))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("iteration not ascending: %v", seqs)
+		}
+	}
+	if it.Missed() != 0 || it.Cursor() == "" {
+		t.Fatalf("missed=%d cursor=%q", it.Missed(), it.Cursor())
+	}
+
+	// Subtree filtering goes through the same cursor machinery.
+	it = c.Anomalies(ctx, AnomalyQuery{Under: []string{"vho1"}})
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if it.Err() != nil || n == 0 {
+		t.Fatalf("subtree walk: n=%d err=%v", n, it.Err())
+	}
+
+	// Introspection: streams, per-stream heavy hitters, stats, config.
+	streams, err := c.Streams(ctx)
+	if err != nil || len(streams) != 1 || streams[0].Name != "ccd" || !streams[0].Warm {
+		t.Fatalf("streams = %+v, %v", streams, err)
+	}
+	detail, err := c.Stream(ctx, "ccd")
+	if err != nil || len(detail.HeavyHitters) == 0 {
+		t.Fatalf("stream detail = %+v, %v", detail, err)
+	}
+	if _, err := c.Stream(ctx, "nope"); !errIsCode(err, api.CodeUnknownStream) {
+		t.Fatalf("unknown stream err = %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil || st.Manager.Records != 81 || st.Index.Added == 0 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+	cfg, err := c.ServerConfig(ctx)
+	if err != nil || cfg.Delta != "1m0s" || cfg.WindowLen != 8 {
+		t.Fatalf("config = %+v, %v", cfg, err)
+	}
+
+	// Checkpoint is disabled on this server: the structured error
+	// code crosses the wire.
+	if _, err := c.Checkpoint(ctx); !errIsCode(err, api.CodeCheckpointDisabled) {
+		t.Fatalf("checkpoint err = %v", err)
+	}
+}
+
+// errIsCode reports whether err is an *api.Error with the code.
+func errIsCode(err error, code string) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+func TestSentinelErrorsCrossTheWire(t *testing.T) {
+	s, c := newServer(t)
+	ctx := context.Background()
+
+	if _, err := c.Ingest(ctx, api.Record{Stream: "gone", Path: []string{"a"},
+		Time: time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Manager().Drop("gone")
+	_, err := c.Ingest(ctx, api.Record{Stream: "gone", Path: []string{"a"},
+		Time: time.Date(2010, 9, 14, 0, 1, 0, 0, time.UTC)})
+	if !errors.Is(err, tiresias.ErrStreamDropped) {
+		t.Fatalf("dropped-stream ingest err = %v, want errors.Is(ErrStreamDropped)", err)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Status != http.StatusGone {
+		t.Fatalf("wire error = %+v", ae)
+	}
+
+	// Out-of-order maps too, with the accepted count in details.
+	_, err = c.Ingest(ctx, api.Record{Stream: "ooo", Path: []string{"a"},
+		Time: time.Date(2010, 9, 14, 1, 0, 0, 0, time.UTC)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Ingest(ctx, api.Record{Stream: "ooo", Path: []string{"a"},
+		Time: time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)})
+	if !errors.Is(err, tiresias.ErrOutOfOrder) {
+		t.Fatalf("out-of-order err = %v", err)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var sawSecondTry atomic.Bool
+	start := time.Now()
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"queue_full","message":"full"}}`)
+			return
+		}
+		sawSecondTry.Store(true)
+		fmt.Fprint(w, `{"accepted":1,"anomalies":[]}`)
+	}))
+	defer fake.Close()
+
+	c, err := New(fake.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Ingest(context.Background(), api.Record{Path: []string{"a"}, Time: time.Now()})
+	if err != nil || resp.Accepted != 1 {
+		t.Fatalf("ingest after retry = %+v, %v", resp, err)
+	}
+	if !sawSecondTry.Load() || calls.Load() != 2 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+	// The 1s Retry-After must dominate the 1ms backoff.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, before the Retry-After delay", elapsed)
+	}
+}
+
+func TestRetryGivesUpWithSentinel(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":{"code":"queue_full","message":"always full"}}`)
+	}))
+	defer fake.Close()
+	c, err := New(fake.URL, WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Ingest(context.Background(), api.Record{Path: []string{"a"}, Time: time.Now()})
+	if !errors.Is(err, tiresias.ErrQueueFull) {
+		t.Fatalf("exhausted retries err = %v, want errors.Is(ErrQueueFull)", err)
+	}
+}
+
+func TestWatchLiveEndToEnd(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Subscribe before any data exists; the events must arrive live.
+	w := c.Watch(ctx, AnomalyQuery{Stream: "ccd"})
+	got := make(chan tiresias.AnomalyEntry, 64)
+	go func() {
+		for w.Next() {
+			got <- w.Entry()
+		}
+		close(got)
+	}()
+
+	resp, err := c.IngestNDJSON(ctx, strings.NewReader(ndjson("ccd", 30)))
+	if err != nil || len(resp.Anomalies) == 0 {
+		t.Fatalf("ingest = %+v, %v", resp, err)
+	}
+	for i := 0; i < len(resp.Anomalies); i++ {
+		select {
+		case e, ok := <-got:
+			if !ok {
+				t.Fatalf("watch ended early: %v", w.Err())
+			}
+			if e.Stream != "ccd" || e.Seq == 0 {
+				t.Fatalf("entry = %+v", e)
+			}
+		case <-ctx.Done():
+			t.Fatalf("timed out at %d/%d events", i, len(resp.Anomalies))
+		}
+	}
+	cancel()
+	for range got { // drain until Next returns false
+	}
+	if !errors.Is(w.Err(), context.Canceled) {
+		t.Fatalf("post-cancel Err = %v", w.Err())
+	}
+	if w.Cursor() == "" {
+		t.Fatal("cursor not advanced by delivered events")
+	}
+}
+
+// scriptedSSE serves a scripted sequence of SSE responses and records
+// the cursor each connection resumed from. A nil script holds the
+// connection open until the client disconnects.
+type scriptedSSE struct {
+	t       *testing.T
+	scripts []func(w http.ResponseWriter, r *http.Request)
+	cursors []string
+	calls   atomic.Int32
+}
+
+func (s *scriptedSSE) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(s.calls.Add(1)) - 1
+	s.cursors = append(s.cursors, r.URL.Query().Get("cursor"))
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	w.(http.Flusher).Flush()
+	if n < len(s.scripts) && s.scripts[n] != nil {
+		s.scripts[n](w, r)
+		return
+	}
+	<-r.Context().Done()
+}
+
+// anomalyFrame renders one anomaly SSE frame for seq.
+func anomalyFrame(seq uint64) string {
+	return fmt.Sprintf("id: %s\nevent: anomaly\ndata: {\"seq\":%d,\"stream\":\"s\",\"key\":\"a\"}\n\n", api.Cursor(0, seq), seq)
+}
+
+func TestWatchReconnectResumesFromCursor(t *testing.T) {
+	script := &scriptedSSE{t: t, scripts: []func(http.ResponseWriter, *http.Request){
+		func(w http.ResponseWriter, r *http.Request) { // two events, then drop
+			fmt.Fprint(w, anomalyFrame(1), anomalyFrame(2))
+		},
+		func(w http.ResponseWriter, r *http.Request) { // resumed connection
+			fmt.Fprint(w, ": live\n\n", anomalyFrame(3))
+			w.(http.Flusher).Flush()
+			<-r.Context().Done()
+		},
+	}}
+	ts := httptest.NewServer(script)
+	c, err := New(ts.URL, WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	w := c.Watch(ctx, AnomalyQuery{})
+	var seqs []uint64
+	for len(seqs) < 3 && w.Next() {
+		seqs = append(seqs, w.Entry().Seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("seqs = %v (err %v)", seqs, w.Err())
+	}
+	if w.Reconnects() != 1 {
+		t.Fatalf("reconnects = %d, want 1", w.Reconnects())
+	}
+	if script.cursors[0] != "" || script.cursors[1] != api.Cursor(0, 2) {
+		t.Fatalf("resume cursors = %v", script.cursors)
+	}
+	cancel()
+	if w.Next() {
+		t.Fatal("Next after cancel must be false")
+	}
+	ts.Close()
+}
+
+func TestWatchLaggedEventTriggersResume(t *testing.T) {
+	script := &scriptedSSE{t: t, scripts: []func(http.ResponseWriter, *http.Request){
+		func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, anomalyFrame(5))
+			fmt.Fprint(w, "event: lagged\ndata: {\"dropped\":7,\"cursor\":\""+api.Cursor(0, 5)+"\"}\n\n")
+		},
+		func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, anomalyFrame(6))
+			w.(http.Flusher).Flush()
+			<-r.Context().Done()
+		},
+	}}
+	ts := httptest.NewServer(script)
+	c, err := New(ts.URL, WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	w := c.Watch(ctx, AnomalyQuery{})
+	var seqs []uint64
+	for len(seqs) < 2 && w.Next() {
+		seqs = append(seqs, w.Entry().Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 5 || seqs[1] != 6 {
+		t.Fatalf("seqs = %v (err %v)", seqs, w.Err())
+	}
+	if w.Lagged() != 7 {
+		t.Fatalf("lagged = %d, want 7", w.Lagged())
+	}
+	if script.cursors[1] != api.Cursor(0, 5) {
+		t.Fatalf("lagged resume cursor = %q", script.cursors[1])
+	}
+	cancel()
+	ts.Close()
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"://nope", "ftp://host", ""} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("New(%q) must fail", bad)
+		}
+	}
+	if _, err := New("http://localhost:8080/"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package client
+
+import (
+	"context"
+
+	"tiresias"
+)
+
+// AnomalyIter walks GET /v2/anomalies pages, oldest first, following
+// next_cursor tokens transparently:
+//
+//	it := c.Anomalies(ctx, client.AnomalyQuery{Stream: "ccd"})
+//	for it.Next() {
+//		handle(it.Entry())
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// After the walk, Cursor returns the resume position (feed it back as
+// AnomalyQuery.Cursor, or into Watch, to continue where the iterator
+// stopped) and Missed totals the entries provably lost to index
+// eviction before the walk reached them.
+type AnomalyIter struct {
+	c      *Client
+	ctx    context.Context
+	q      AnomalyQuery
+	buf    []tiresias.AnomalyEntry
+	i      int
+	done   bool
+	err    error
+	missed uint64
+}
+
+// Anomalies starts a cursor walk over the anomalies matching q.
+func (c *Client) Anomalies(ctx context.Context, q AnomalyQuery) *AnomalyIter {
+	return &AnomalyIter{c: c, ctx: ctx, q: q, i: -1}
+}
+
+// Next advances to the next entry, fetching pages as needed. It
+// returns false when the walk is exhausted or failed (check Err).
+func (it *AnomalyIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	it.i++
+	for it.i >= len(it.buf) {
+		if it.done {
+			return false
+		}
+		page, err := it.c.Page(it.ctx, it.q)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.missed += page.Missed
+		it.buf, it.i = page.Entries, 0
+		it.q.Cursor = page.Cursor
+		it.done = page.NextCursor == ""
+	}
+	return true
+}
+
+// Entry returns the current entry; valid only after a true Next.
+func (it *AnomalyIter) Entry() tiresias.AnomalyEntry {
+	return it.buf[it.i]
+}
+
+// Err returns the first fetch error, if any.
+func (it *AnomalyIter) Err() error { return it.err }
+
+// Cursor returns the walk's current resume position.
+func (it *AnomalyIter) Cursor() string { return it.q.Cursor }
+
+// Missed totals the entries evicted before the walk could read them
+// (0 on a walk that started within the index's retention horizon).
+func (it *AnomalyIter) Missed() uint64 { return it.missed }

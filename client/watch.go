@@ -1,0 +1,235 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tiresias"
+	"tiresias/api"
+)
+
+// Watcher is a live anomaly subscription over GET /v2/anomalies/watch:
+//
+//	w := c.Watch(ctx, client.AnomalyQuery{Stream: "ccd"})
+//	for w.Next() {
+//		handle(w.Entry())
+//	}
+//	if err := w.Err(); err != nil { ... }
+//
+// Next blocks for the next matching entry. Disconnects — network
+// failures, server restarts, and slow-consumer (lagged) evictions —
+// are handled by reconnecting with the cursor of the last delivered
+// entry, so the subscription resumes without loss within the server
+// index's retention horizon. The watch ends when ctx is canceled
+// (Err returns the context error) or after maxAttempts consecutive
+// failed connection attempts; an accepted connection resets the
+// budget, so a quiet stream that is periodically disconnected by
+// intermediaries keeps watching indefinitely.
+type Watcher struct {
+	c          *Client
+	ctx        context.Context
+	q          AnomalyQuery
+	body       io.ReadCloser
+	sc         *bufio.Scanner
+	cur        tiresias.AnomalyEntry
+	err        error
+	fails      int // consecutive failures with no event in between
+	lagged     uint64
+	reconnects int
+}
+
+// Watch opens a live subscription to the anomalies matching q (Stream
+// and Under filter; From/To are ignored — a watch always runs
+// forward). q.Cursor selects the start: the server first replays
+// retained history after it, then streams live detections; an empty
+// cursor replays everything retained.
+func (c *Client) Watch(ctx context.Context, q AnomalyQuery) *Watcher {
+	return &Watcher{c: c, ctx: ctx, q: q}
+}
+
+// Next blocks until the next entry arrives, reconnecting as needed.
+// It returns false when the subscription has ended (check Err: nil
+// never ends a watch — there is always a context or failure error).
+func (w *Watcher) Next() bool {
+	if w.err != nil {
+		return false
+	}
+	for {
+		if w.ctx.Err() != nil {
+			w.fail(w.ctx.Err())
+			return false
+		}
+		if w.body == nil {
+			if !w.connect() {
+				return false
+			}
+		}
+		ev, err := w.readEvent()
+		if err != nil {
+			w.disconnect()
+			if w.ctx.Err() != nil {
+				w.fail(w.ctx.Err())
+				return false
+			}
+			w.fails++
+			if w.fails >= w.c.maxAttempts {
+				w.fail(fmt.Errorf("client: watch gave up after %d consecutive failures: %w", w.fails, err))
+				return false
+			}
+			if err := w.c.sleep(w.ctx, nil, w.fails); err != nil {
+				w.fail(err)
+				return false
+			}
+			continue
+		}
+		switch ev.name {
+		case api.EventAnomaly:
+			var e tiresias.AnomalyEntry
+			if err := json.Unmarshal([]byte(ev.data), &e); err != nil {
+				// A malformed event is a protocol error worth a
+				// reconnect, not a silent skip.
+				w.disconnect()
+				continue
+			}
+			w.cur = e
+			if ev.id != "" {
+				// The id is the server-built cursor (epoch-scoped);
+				// never reconstruct it client-side.
+				w.q.Cursor = ev.id
+			}
+			w.fails = 0
+			return true
+		case api.EventLagged:
+			// The server dropped us for falling behind; account for
+			// it and resume by cursor — the replay fills the gap
+			// from the index.
+			var le api.LaggedEvent
+			if err := json.Unmarshal([]byte(ev.data), &le); err == nil {
+				w.lagged += le.Dropped
+			}
+			w.disconnect()
+		default:
+			// Unknown event types are forward compatibility, not
+			// errors.
+		}
+	}
+}
+
+// Entry returns the current entry; valid only after a true Next.
+func (w *Watcher) Entry() tiresias.AnomalyEntry { return w.cur }
+
+// Err returns the error that ended the watch (the context error on
+// cancellation).
+func (w *Watcher) Err() error { return w.err }
+
+// Cursor returns the resume position after the last delivered entry;
+// persist it to continue a subscription across process restarts.
+func (w *Watcher) Cursor() string { return w.q.Cursor }
+
+// Lagged totals the entries the server reported dropping because
+// this watcher fell behind. They were re-delivered by the post-
+// reconnect replay unless the index evicted them first.
+func (w *Watcher) Lagged() uint64 { return w.lagged }
+
+// Reconnects counts successful re-subscriptions (0 on an unbroken
+// watch).
+func (w *Watcher) Reconnects() int { return w.reconnects }
+
+// fail latches the terminal error and releases the connection.
+func (w *Watcher) fail(err error) {
+	w.err = err
+	w.disconnect()
+}
+
+// disconnect drops the current connection (Next will reconnect).
+func (w *Watcher) disconnect() {
+	if w.body != nil {
+		w.body.Close()
+		w.body, w.sc = nil, nil
+	}
+}
+
+// connect opens the SSE stream at the current cursor.
+func (w *Watcher) connect() bool {
+	endpoint := w.c.endpoint("/v2/anomalies/watch", w.q.values(false))
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		w.fail(err)
+		return false
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := w.c.hc.Do(req)
+	if err == nil && resp.StatusCode != http.StatusOK {
+		err = decodeError(resp)
+		resp.Body.Close()
+	}
+	if err != nil {
+		if w.ctx.Err() != nil {
+			w.fail(w.ctx.Err())
+			return false
+		}
+		w.fails++
+		if w.fails >= w.c.maxAttempts {
+			w.fail(fmt.Errorf("client: watch gave up after %d consecutive failures: %w", w.fails, err))
+			return false
+		}
+		if err := w.c.sleep(w.ctx, err, w.fails); err != nil {
+			w.fail(err)
+			return false
+		}
+		return w.connect()
+	}
+	if w.body != nil { // defensive; connect is only called disconnected
+		w.body.Close()
+	}
+	w.body = resp.Body
+	w.sc = bufio.NewScanner(resp.Body)
+	// A 200 response is genuine progress: reset the consecutive-
+	// failure counter so routine idle disconnects (load balancers,
+	// server restarts) on a quiet stream never exhaust the budget —
+	// only back-to-back failed connects give up.
+	w.fails = 0
+	if w.cur.Seq != 0 {
+		// A successful resume after at least one delivered entry.
+		w.reconnects++
+	}
+	return true
+}
+
+// event is one parsed SSE frame.
+type event struct {
+	id, name, data string
+}
+
+// readEvent scans the stream until one complete frame (comment
+// keep-alives are skipped).
+func (w *Watcher) readEvent() (event, error) {
+	var ev event
+	for w.sc.Scan() {
+		line := w.sc.Text()
+		switch {
+		case line == "":
+			if ev.name != "" {
+				return ev, nil
+			}
+			ev = event{} // a bare comment frame; keep scanning
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		case strings.HasPrefix(line, "id: "):
+			ev.id = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			ev.name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = line[len("data: "):]
+		}
+	}
+	if err := w.sc.Err(); err != nil {
+		return event{}, err
+	}
+	return event{}, io.EOF
+}

@@ -1,61 +1,59 @@
 // Command tiresias-serve exposes anomaly detection over HTTP: the
-// stored-anomaly dashboard of the paper's front-end (Fig. 3(f)) plus a
-// live multi-stream ingest API backed by a sharded tiresias.Manager.
+// versioned /v2 wire API (package api) served by package httpserve —
+// NDJSON/batch ingest, cursor-paginated anomaly queries, per-stream
+// heavy-hitter introspection, live SSE anomaly subscriptions — next
+// to the stored-anomaly dashboard of the paper's front-end
+// (Fig. 3(f)) and the deprecated /v1 shims.
 //
 // Usage:
 //
 //	tiresias-serve -store anomalies.json -addr :8080 -window 96 -delta 15m
-//	curl 'localhost:8080/anomalies?under=vho1&from=0&limit=20'
-//	curl 'localhost:8080/stats'
-//	curl -X POST localhost:8080/v1/records -d '{"stream":"ccd","path":["vho1","io2"],"time":"2010-09-14T08:00:00Z"}'
-//	curl 'localhost:8080/v1/streams'
-//	curl 'localhost:8080/v1/anomalies?stream=ccd&from=2010-09-14T00:00:00Z&limit=20'
-//	curl 'localhost:8080/v1/stats'
+//	curl -X POST localhost:8080/v2/records -d '{"stream":"ccd","path":["vho1","io2"],"time":"2010-09-14T08:00:00Z"}'
+//	curl 'localhost:8080/v2/anomalies?stream=ccd&limit=20'          # cursor-paginated
+//	curl 'localhost:8080/v2/streams'                                # fleet status
+//	curl 'localhost:8080/v2/streams/ccd'                            # + heavy hitters
+//	curl 'localhost:8080/v2/config'                                 # introspection
+//	curl -N 'localhost:8080/v2/anomalies/watch?stream=ccd'          # live SSE
 //
-// POST /v1/records accepts one record, a JSON array of records, or
-// NDJSON (one record per line; Content-Type application/x-ndjson or
-// auto-detected); each record carries an optional "stream" name
-// (default "default"). Detected anomalies are returned in the
-// response, appended to the store, and recorded in the bounded
-// queryable index behind GET /v1/anomalies.
+// POST /v2/records accepts one JSON record, a JSON array, or NDJSON
+// (one record per line; Content-Type application/x-ndjson or
+// auto-detected). Prefer the typed Go client in package client over
+// raw curl: it follows pagination cursors, reconnects watch streams,
+// and retries queue-full rejections honoring Retry-After.
 //
 // With -queue N the server ingests through the Manager's pipelined
-// mode: POST /v1/records enqueues batches to per-shard workers and
-// returns immediately ("queued": true, no anomalies in the response —
-// query them from /v1/anomalies). -backpressure selects the
-// full-queue policy: "block" stalls the request, "drop-oldest" sheds
-// the oldest queued batch (counted in /v1/stats), "error" turns a
-// full queue into HTTP 429. Append ?wait=1 to drain the pipeline
-// before the response returns (ordering reads after writes).
+// mode: ingest enqueues batches to per-shard workers and returns
+// immediately ("queued": true — follow /v2/anomalies or the watch
+// stream for results). -backpressure selects the full-queue policy:
+// "block" stalls the request, "drop-oldest" sheds the oldest queued
+// batch (counted in /v2/stats), "error" turns a full queue into HTTP
+// 429 with a Retry-After header and a structured error body. Append
+// ?wait=1 to drain the pipeline before the response returns.
 //
 // Detectors survive restarts through the checkpoint subsystem:
 //
 //	tiresias-serve -checkpoint-dir /var/lib/tiresias -checkpoint-every 5m
-//	curl -X POST localhost:8080/v1/checkpoint   # on-demand snapshot
+//	curl -X POST localhost:8080/v2/checkpoint   # on-demand snapshot
 //	tiresias-serve -checkpoint-dir /var/lib/tiresias -restore
 //
-// -restore rebuilds every stream from the directory at startup; a
-// restored stream resumes mid-unit and detects exactly what an
-// uninterrupted server would have.
+// This command is flag parsing and process lifecycle (signals,
+// periodic checkpoints, graceful drain); the serving logic lives in
+// package httpserve, reusable by any embedder.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"tiresias"
+	"tiresias/httpserve"
 )
 
 func main() {
@@ -87,11 +85,11 @@ func main() {
 	fmt.Println("tiresias-serve: drained, bye")
 }
 
-// buildServer parses flags, loads the store, wires the live-ingest
-// Manager, and returns the configured (unstarted) server, a drain
-// function to run after the server has stopped serving (closes the
-// ingestion pipeline, flushing queued records through detection), and
-// the number of loaded anomalies.
+// buildServer parses flags into an httpserve.Config, loads the store,
+// and returns the configured (unstarted) server, a drain function to
+// run after the server has stopped serving (closes the ingestion
+// pipeline, flushing queued records through detection, and
+// disconnects watchers), and the number of loaded anomalies.
 func buildServer(args []string) (*http.Server, func(), int, error) {
 	fs := flag.NewFlagSet("tiresias-serve", flag.ContinueOnError)
 	var (
@@ -107,7 +105,8 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 		queue     = fs.Int("queue", 0, "pipelined ingest: per-shard queue depth in batches (0 = synchronous)")
 		policy    = fs.String("backpressure", "block", "pipelined ingest full-queue policy: block | drop-oldest | error")
 		indexCap  = fs.Int("index-cap", 65536, "queryable anomaly index capacity (entries)")
-		ckptDir   = fs.String("checkpoint-dir", "", "directory for stream checkpoints (enables POST /v1/checkpoint)")
+		watchBuf  = fs.Int("watch-buffer", 256, "per-subscriber watch buffer (entries); slower watchers are disconnected and resume by cursor")
+		ckptDir   = fs.String("checkpoint-dir", "", "directory for stream checkpoints (enables POST /v2/checkpoint)")
 		restore   = fs.Bool("restore", false, "restore all streams from -checkpoint-dir at startup")
 		ckptEvery = fs.Duration("checkpoint-every", 0, "also checkpoint to -checkpoint-dir at this interval (0 disables)")
 	)
@@ -116,6 +115,15 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 	}
 	if (*restore || *ckptEvery > 0) && *ckptDir == "" {
 		return nil, nil, 0, fmt.Errorf("-restore and -checkpoint-every require -checkpoint-dir")
+	}
+	bp, err := parsePolicy(*policy)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if *shards < 1 {
+		// httpserve.Config treats 0 as "use the default"; the flag
+		// surface keeps the stricter contract.
+		return nil, nil, 0, fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 	st := tiresias.NewStore()
 	if *storePath != "" {
@@ -129,79 +137,34 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 			return nil, nil, 0, err
 		}
 	}
-	// Every live stream's detector feeds the same store, so live
-	// detections surface on the dashboard alongside loaded history.
-	liveOpts := []tiresias.Option{
-		tiresias.WithDelta(*delta),
-		tiresias.WithWindowLen(*window),
-		tiresias.WithTheta(*theta),
-		tiresias.WithThresholds(tiresias.Thresholds{RT: *rt, DT: *dt}),
-		tiresias.WithSink(tiresias.NewStoreSink(st)),
+	cfg := httpserve.Config{
+		Delta:         *delta,
+		WindowLen:     *window,
+		Theta:         *theta,
+		Thresholds:    tiresias.Thresholds{RT: *rt, DT: *dt},
+		Shards:        *shards,
+		MaxGap:        *maxGap,
+		QueueDepth:    *queue,
+		Backpressure:  bp,
+		IndexCap:      *indexCap,
+		WatchBuffer:   *watchBuf,
+		Store:         st,
+		CheckpointDir: *ckptDir,
+		Restore:       *restore,
 	}
-	// The Manager builds detectors lazily on first Feed; probe the
-	// configuration now so bad flags fail at startup, not mid-ingest.
-	if _, err := tiresias.New(liveOpts...); err != nil {
-		return nil, nil, 0, err
+	if *maxGap <= 0 {
+		cfg.MaxGap = -1 // httpserve: negative disables the bound
 	}
-	// The bounded index makes detections queryable on /v1/anomalies —
-	// mandatory in pipelined mode (the ingest response carries no
-	// anomalies there) and useful in synchronous mode too.
-	ix := tiresias.NewAnomalyIndex(*indexCap)
-	mgrOpts := []tiresias.ManagerOption{
-		tiresias.WithShards(*shards),
-		tiresias.WithMaxGap(*maxGap),
-		tiresias.WithDetectorOptions(liveOpts...),
-		tiresias.WithAnomalyIndex(ix),
-	}
-	pipelined := *queue > 0
-	if pipelined {
-		bp, err := parsePolicy(*policy)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		mgrOpts = append(mgrOpts, tiresias.WithPipeline(*queue, bp))
-	}
-	var mgr *tiresias.Manager
-	var err error
-	if *restore {
-		// Every restored stream resumes exactly where the previous
-		// process left off — mid-unit, mid-warmup, mid-stream — with
-		// its detector re-wired to the store through liveOpts. A
-		// directory with no checkpoint yet (first boot of a durable
-		// deployment) is a cold start, not an error — otherwise a
-		// service unit configured with -restore could never write its
-		// first checkpoint.
-		mgr, err = tiresias.ManagerFromCheckpoint(*ckptDir, mgrOpts...)
-		if errors.Is(err, tiresias.ErrNoCheckpoint) {
-			fmt.Fprintf(os.Stderr, "tiresias-serve: no checkpoint in %s yet, starting cold\n", *ckptDir)
-			mgr, err = tiresias.NewManager(mgrOpts...)
-		}
-	} else {
-		mgr, err = tiresias.NewManager(mgrOpts...)
-	}
+	hs, err := httpserve.New(cfg)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/records", ingestHandler(mgr, pipelined))
-	mux.HandleFunc("GET /v1/streams", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, mgr.Streams())
-	})
-	mux.HandleFunc("GET /v1/anomalies", anomaliesHandler(ix))
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsResponse{
-			Manager:  mgr.Stats(),
-			Index:    ix.Stats(),
-			StoreLen: st.Len(),
-		})
-	})
-	mux.HandleFunc("POST /v1/checkpoint", checkpointHandler(mgr, *ckptDir))
-	// The dashboard handler serves the HTML report at "/" and keeps
-	// the JSON API at /anomalies and /stats.
-	mux.Handle("/", st.DashboardHandler())
+	if hs.ColdStarted {
+		fmt.Fprintf(os.Stderr, "tiresias-serve: no checkpoint in %s yet, starting cold\n", *ckptDir)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           hs.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if *ckptEvery > 0 {
@@ -219,7 +182,7 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 			for {
 				select {
 				case <-ticker.C:
-					if _, err := mgr.Checkpoint(*ckptDir); err != nil {
+					if _, err := hs.Checkpoint(); err != nil {
 						fmt.Fprintln(os.Stderr, "tiresias-serve: periodic checkpoint:", err)
 					}
 				case <-done:
@@ -228,35 +191,8 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 			}
 		}()
 	}
-	return srv, func() { _ = mgr.Close() }, st.Len(), nil
+	return srv, func() { _ = hs.Close() }, st.Len(), nil
 }
-
-// ingestRecord is the POST /v1/records wire format: a stream.Record
-// plus the target stream name.
-type ingestRecord struct {
-	Stream string    `json:"stream"`
-	Path   []string  `json:"path"`
-	Time   time.Time `json:"time"`
-}
-
-// ingestResponse summarizes one ingest call. In pipelined mode
-// Queued is true and Anomalies is empty — detection happens on the
-// workers; query GET /v1/anomalies for results.
-type ingestResponse struct {
-	Accepted  int                `json:"accepted"`
-	Queued    bool               `json:"queued,omitempty"`
-	Anomalies []tiresias.Anomaly `json:"anomalies"`
-}
-
-// statsResponse is the GET /v1/stats payload: manager throughput and
-// queue state, anomaly-index occupancy, and the dashboard store size.
-type statsResponse struct {
-	Manager  tiresias.ManagerStats `json:"manager"`
-	Index    tiresias.IndexStats   `json:"index"`
-	StoreLen int                   `json:"storeLen"`
-}
-
-const maxIngestBody = 8 << 20 // 8 MiB per request
 
 // parsePolicy maps the -backpressure flag to a BackpressurePolicy.
 func parsePolicy(s string) (tiresias.BackpressurePolicy, error) {
@@ -270,234 +206,4 @@ func parsePolicy(s string) (tiresias.BackpressurePolicy, error) {
 	default:
 		return 0, fmt.Errorf("unknown -backpressure %q (want block, drop-oldest, or error)", s)
 	}
-}
-
-// recordGroup is a run of consecutive posted records for one stream,
-// the unit of batched feeding/enqueueing.
-type recordGroup struct {
-	stream string
-	recs   []tiresias.Record
-}
-
-// groupByStream splits posted records into consecutive same-stream
-// runs, preserving order within and across groups.
-func groupByStream(recs []ingestRecord) []recordGroup {
-	var out []recordGroup
-	for _, rec := range recs {
-		name := rec.Stream
-		if name == "" {
-			name = "default"
-		}
-		r := tiresias.Record{Path: rec.Path, Time: rec.Time}
-		if n := len(out); n > 0 && out[n-1].stream == name {
-			out[n-1].recs = append(out[n-1].recs, r)
-			continue
-		}
-		out = append(out, recordGroup{stream: name, recs: []tiresias.Record{r}})
-	}
-	return out
-}
-
-// ingestHandler feeds posted records into the Manager. Synchronous
-// mode batches per stream through FeedBatch and returns the detected
-// anomalies; pipelined mode enqueues the batches and returns once
-// they are accepted (or, with ?wait=1, processed).
-func ingestHandler(mgr *tiresias.Manager, pipelined bool) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		recs, err := decodeRecords(r.Body, r.Header.Get("Content-Type"))
-		if errors.Is(err, errBodyTooLarge) {
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			return
-		}
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		// Validate the whole batch before feeding anything, so a 400
-		// for a malformed record has no side effects and the client
-		// can safely fix and re-post the batch.
-		for i, rec := range recs {
-			if len(rec.Path) == 0 {
-				http.Error(w, fmt.Sprintf("record %d: empty path (accepted 0)", i), http.StatusBadRequest)
-				return
-			}
-			if rec.Time.IsZero() {
-				http.Error(w, fmt.Sprintf("record %d: missing time (accepted 0)", i), http.StatusBadRequest)
-				return
-			}
-		}
-		groups := groupByStream(recs)
-		resp := ingestResponse{Anomalies: []tiresias.Anomaly{}}
-		if pipelined {
-			resp.Queued = true
-			for _, g := range groups {
-				if err := mgr.EnqueueBatch(g.stream, g.recs); err != nil {
-					status := http.StatusServiceUnavailable
-					if errors.Is(err, tiresias.ErrQueueFull) {
-						status = http.StatusTooManyRequests
-					}
-					http.Error(w, fmt.Sprintf("%v (accepted %d)", err, resp.Accepted), status)
-					return
-				}
-				resp.Accepted += len(g.recs)
-			}
-			if r.URL.Query().Get("wait") != "" {
-				mgr.Drain()
-			}
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
-		for _, g := range groups {
-			anoms, n, err := mgr.FeedBatch(g.stream, g.recs)
-			resp.Accepted += n
-			resp.Anomalies = append(resp.Anomalies, anoms...)
-			if err != nil {
-				// Out-of-order and gap errors depend on live stream
-				// state and can only surface mid-feed; report how far
-				// we got so the client can resume past the bad record.
-				http.Error(w, fmt.Sprintf("%v (accepted %d)", err, resp.Accepted), http.StatusBadRequest)
-				return
-			}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	}
-}
-
-// anomaliesResponse is the GET /v1/anomalies payload. Entries are
-// newest first; Stats reports occupancy and evictions so a client can
-// tell when its time range has partially aged out of the index.
-type anomaliesResponse struct {
-	Entries []tiresias.AnomalyEntry `json:"entries"`
-	Stats   tiresias.IndexStats     `json:"stats"`
-}
-
-// anomaliesHandler serves time-range / stream / subtree queries over
-// the bounded anomaly index.
-func anomaliesHandler(ix *tiresias.AnomalyIndex) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		q := tiresias.AnomalyQuery{Stream: r.URL.Query().Get("stream"), Limit: 100}
-		if under := r.URL.Query().Get("under"); under != "" {
-			q.Under = tiresias.KeyOf(strings.Split(under, "/"))
-		}
-		var err error
-		if v := r.URL.Query().Get("from"); v != "" {
-			if q.From, err = time.Parse(time.RFC3339, v); err != nil {
-				http.Error(w, fmt.Sprintf("bad from: %v", err), http.StatusBadRequest)
-				return
-			}
-		}
-		if v := r.URL.Query().Get("to"); v != "" {
-			if q.To, err = time.Parse(time.RFC3339, v); err != nil {
-				http.Error(w, fmt.Sprintf("bad to: %v", err), http.StatusBadRequest)
-				return
-			}
-		}
-		if v := r.URL.Query().Get("since"); v != "" {
-			if q.Since, err = strconv.ParseUint(v, 10, 64); err != nil {
-				http.Error(w, fmt.Sprintf("bad since: %v", err), http.StatusBadRequest)
-				return
-			}
-		}
-		if v := r.URL.Query().Get("limit"); v != "" {
-			if q.Limit, err = strconv.Atoi(v); err != nil {
-				http.Error(w, fmt.Sprintf("bad limit: %v", err), http.StatusBadRequest)
-				return
-			}
-		}
-		entries := ix.Query(q)
-		if entries == nil {
-			entries = []tiresias.AnomalyEntry{}
-		}
-		writeJSON(w, http.StatusOK, anomaliesResponse{Entries: entries, Stats: ix.Stats()})
-	}
-}
-
-// checkpointResponse summarizes one on-demand checkpoint.
-type checkpointResponse struct {
-	Streams int    `json:"streams"`
-	Dir     string `json:"dir"`
-}
-
-// checkpointHandler snapshots every live stream into the configured
-// checkpoint directory on demand.
-func checkpointHandler(mgr *tiresias.Manager, dir string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if dir == "" {
-			http.Error(w, "checkpointing disabled: start with -checkpoint-dir", http.StatusConflict)
-			return
-		}
-		n, err := mgr.Checkpoint(dir)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, http.StatusOK, checkpointResponse{Streams: n, Dir: dir})
-	}
-}
-
-// errBodyTooLarge marks an ingest body over maxIngestBody.
-var errBodyTooLarge = fmt.Errorf("request body exceeds %d bytes", maxIngestBody)
-
-// decodeRecords accepts a single JSON record, a JSON array, or NDJSON
-// (one record per line — by Content-Type application/x-ndjson, or
-// auto-detected when the body is multiple one-record lines).
-func decodeRecords(body io.Reader, contentType string) ([]ingestRecord, error) {
-	raw, err := io.ReadAll(io.LimitReader(body, maxIngestBody+1))
-	if err != nil {
-		return nil, fmt.Errorf("bad request body: %w", err)
-	}
-	if len(raw) > maxIngestBody {
-		return nil, errBodyTooLarge
-	}
-	trimmed := bytes.TrimSpace(raw)
-	if len(trimmed) == 0 {
-		return nil, fmt.Errorf("empty request body")
-	}
-	if strings.Contains(contentType, "ndjson") {
-		return decodeNDJSON(trimmed)
-	}
-	if trimmed[0] == '[' {
-		var recs []ingestRecord
-		if err := json.Unmarshal(trimmed, &recs); err != nil {
-			return nil, fmt.Errorf("bad record array: %w", err)
-		}
-		return recs, nil
-	}
-	var rec ingestRecord
-	if err := json.Unmarshal(trimmed, &rec); err != nil {
-		// A bare NDJSON body (curl --data-binary @records.ndjson with
-		// no content type) fails single-object decoding on the second
-		// line; accept it when every line parses on its own.
-		if recs, ndErr := decodeNDJSON(trimmed); ndErr == nil && len(recs) > 1 {
-			return recs, nil
-		}
-		return nil, fmt.Errorf("bad record: %w", err)
-	}
-	return []ingestRecord{rec}, nil
-}
-
-// decodeNDJSON parses one JSON record per line, skipping blank lines.
-func decodeNDJSON(raw []byte) ([]ingestRecord, error) {
-	var recs []ingestRecord
-	for n, line := range bytes.Split(raw, []byte("\n")) {
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
-			continue
-		}
-		var rec ingestRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("bad record on line %d: %w", n+1, err)
-		}
-		recs = append(recs, rec)
-	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("empty request body")
-	}
-	return recs, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,162 @@
+// Client demonstrates the remote embedding story end to end: a live
+// httpserve server (booted in-process by default, or an external
+// tiresias-serve via -addr), driven entirely through the typed client
+// package — NDJSON ingest, cursor pagination over /v2/anomalies, and
+// a live /v2/anomalies/watch subscription that must deliver at least
+// one anomaly. The process exits non-zero if any leg fails, so CI
+// runs it as the wire-API smoke test:
+//
+//	go run ./examples/client                       # self-contained
+//	go run ./examples/client -addr http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"tiresias"
+	"tiresias/client"
+	"tiresias/httpserve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running tiresias-serve (empty: boot one in-process)")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		log.Fatal("examples/client: ", err)
+	}
+}
+
+func run(addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if addr == "" {
+		var stop func()
+		var err error
+		addr, stop, err = bootServer()
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Println("booted in-process httpserve at", addr)
+	}
+
+	c, err := client.New(addr)
+	if err != nil {
+		return err
+	}
+
+	// Subscribe before ingesting: live events must reach the watcher.
+	w := c.Watch(ctx, client.AnomalyQuery{Stream: "ccd"})
+	watched := make(chan tiresias.AnomalyEntry, 1)
+	go func() {
+		if w.Next() {
+			watched <- w.Entry()
+		}
+		close(watched)
+	}()
+
+	// Ingest a day of steady traffic with one injected burst, as
+	// NDJSON — the bulk wire format.
+	resp, err := c.IngestNDJSON(ctx, strings.NewReader(feed("ccd")))
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	fmt.Printf("ingested %d records (queued=%v), %d anomalies in the response\n",
+		resp.Accepted, resp.Queued, len(resp.Anomalies))
+
+	// Page every detection through the cursor iterator, 3 per page.
+	it := c.Anomalies(ctx, client.AnomalyQuery{Stream: "ccd", PageSize: 3})
+	pages := 0
+	var total int
+	for it.Next() {
+		e := it.Entry()
+		if total == 0 {
+			fmt.Printf("first anomaly: %s at %s (actual %.1f, forecast %.1f)\n",
+				e.Key, e.Time.Format(time.RFC3339), e.Actual, e.Forecast)
+		}
+		total++
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("paginate: %w", err)
+	}
+	pages = (total + 2) / 3
+	fmt.Printf("paged %d anomalies over ~%d cursor pages (resume cursor %s)\n",
+		total, pages, it.Cursor())
+	if total == 0 {
+		return fmt.Errorf("cursor walk found no anomalies")
+	}
+
+	// The live subscription must have seen the burst too.
+	select {
+	case e, ok := <-watched:
+		if !ok {
+			return fmt.Errorf("watch ended without an event: %w", w.Err())
+		}
+		fmt.Printf("watch delivered %s live (cursor %s)\n", e.Key, w.Cursor())
+	case <-ctx.Done():
+		return fmt.Errorf("timed out waiting for a watch event")
+	}
+
+	// Introspect the stream we just built.
+	detail, err := c.Stream(ctx, "ccd")
+	if err != nil {
+		return fmt.Errorf("stream detail: %w", err)
+	}
+	fmt.Printf("stream ccd: warm=%v units=%d heavy hitters=%v\n",
+		detail.Warm, detail.Units, detail.HeavyHitters)
+	return nil
+}
+
+// bootServer starts an in-process httpserve server on a loopback
+// port, returning its base URL and a stop function.
+func bootServer() (string, func(), error) {
+	s, err := httpserve.New(httpserve.Config{
+		Delta:      time.Minute,
+		WindowLen:  32,
+		Theta:      0.5,
+		Thresholds: tiresias.Thresholds{RT: 2, DT: 5},
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		_ = hs.Close()
+		_ = s.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// feed renders a synthetic NDJSON day: steady traffic per minute
+// warming the window, then a 60-record burst, then a closer record
+// completing the burst unit.
+func feed(stream string) string {
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	line := func(at time.Time) {
+		fmt.Fprintf(&b, `{"stream":%q,"path":["vho1","io2"],"time":%q}`+"\n",
+			stream, at.Format(time.RFC3339))
+	}
+	const warm = 40
+	for u := 0; u < warm; u++ {
+		line(base.Add(time.Duration(u) * time.Minute))
+	}
+	for i := 0; i < 60; i++ {
+		line(base.Add(warm * time.Minute))
+	}
+	line(base.Add((warm + 1) * time.Minute))
+	return b.String()
+}

@@ -85,9 +85,26 @@ type AnomalyQuery = store.Query
 // accounting.
 type IndexStats = store.Stats
 
+// AnomalyPage is one forward page of an AnomalyIndex cursor walk
+// (see AnomalyIndex.PageAfter): entries oldest-first, a resume
+// cursor, and honest eviction accounting for cursors older than the
+// retention horizon.
+type AnomalyPage = store.Page
+
 // NewAnomalyIndex returns an empty AnomalyIndex retaining at most
 // capacity entries (capacity <= 0 selects store.DefaultCapacity).
 func NewAnomalyIndex(capacity int) *AnomalyIndex { return store.New(capacity) }
+
+// ErrOutOfOrder is returned (wrapped) by Run, Feed, and FeedBatch
+// when a record's timestamp precedes the current timeunit. Test with
+// errors.Is; the serving layer maps it to a stable wire error code.
+var ErrOutOfOrder = stream.ErrOutOfOrder
+
+// ErrMaxGap is returned (wrapped) when a record's timestamp would
+// force more gap-fill timeunits than the WithMaxGap bound allows.
+// Test with errors.Is; the serving layer maps it to a stable wire
+// error code.
+var ErrMaxGap = stream.ErrMaxGap
 
 // NewSliceSource copies records (sorting by time) into a Source.
 func NewSliceSource(records []Record) Source { return stream.NewSliceSource(records) }

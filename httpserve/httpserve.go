@@ -1,0 +1,682 @@
+// Package httpserve is the reusable HTTP serving layer of tiresias:
+// it wires a sharded Manager, the bounded anomaly index, the
+// persistent dashboard store, and a live subscription hub behind the
+// versioned /v2 wire API defined in package api — NDJSON and batch
+// ingest, cursor-paginated anomaly queries, per-stream introspection
+// (including heavy hitters), configuration introspection, on-demand
+// checkpoints, and a Server-Sent-Events watch stream with bounded
+// per-subscriber buffers and slow-consumer drop accounting.
+//
+// The deprecated /v1 routes are served as thin shims over the same
+// handlers (legacy response shapes, plain-text errors), so existing
+// clients keep working while /v2 is adopted; every /v1 response
+// carries a Deprecation header pointing at its successor.
+//
+// cmd/tiresias-serve is flag parsing and process lifecycle around
+// this package; embedders can mount Handler on any mux instead.
+package httpserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tiresias"
+	"tiresias/api"
+)
+
+// Config assembles a Server. The zero value of every field selects a
+// production-reasonable default, documented per field.
+type Config struct {
+	// Delta is the timeunit size Δ (default 15 minutes).
+	Delta time.Duration
+	// WindowLen is the sliding-window length ℓ (default 672).
+	WindowLen int
+	// Theta is the heavy-hitter threshold θ (default 10).
+	Theta float64
+	// Thresholds are the Definition-4 sensitivity parameters; the
+	// zero value selects the paper's operating point.
+	Thresholds tiresias.Thresholds
+	// DetectorOptions are appended to the per-stream detector
+	// options built from the fields above (advanced tuning: split
+	// rules, seasonality, extra sinks).
+	DetectorOptions []tiresias.Option
+	// Shards is the Manager's lock-shard count (default 16).
+	Shards int
+	// MaxGap bounds gap-fill timeunits per record: 0 selects
+	// tiresias.DefaultMaxGap, negative disables the bound.
+	MaxGap int
+	// QueueDepth > 0 enables pipelined ingestion with that many
+	// batches of queue per shard; 0 keeps ingestion synchronous.
+	QueueDepth int
+	// Backpressure is the pipeline's full-queue policy.
+	Backpressure tiresias.BackpressurePolicy
+	// IndexCap is the anomaly-index capacity (default 65536).
+	IndexCap int
+	// Store is the persistent dashboard store to serve and feed;
+	// nil builds an empty one.
+	Store *tiresias.Store
+	// CheckpointDir enables POST /v2/checkpoint into the directory.
+	CheckpointDir string
+	// Restore rebuilds the fleet from CheckpointDir at construction
+	// (a directory with no checkpoint cold-starts; see
+	// Server.ColdStarted).
+	Restore bool
+	// MaxBodyBytes caps ingest request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// PageLimit is the hard cap on /v2/anomalies page size and the
+	// default watch replay chunk (default 1000).
+	PageLimit int
+	// WatchBuffer is the per-subscriber event buffer; a watcher
+	// that falls this far behind is disconnected with a lagged
+	// event and resumes by cursor (default 256).
+	WatchBuffer int
+	// WatchHeartbeat is the SSE keep-alive comment interval
+	// (default 15s).
+	WatchHeartbeat time.Duration
+	// RetryAfter is the delay advertised in the Retry-After header
+	// of queue-full 429 responses (default 1s, rounded up to whole
+	// seconds on the wire).
+	RetryAfter time.Duration
+}
+
+// withDefaults returns cfg with every zero field resolved.
+func (cfg Config) withDefaults() Config {
+	if cfg.Delta == 0 {
+		cfg.Delta = 15 * time.Minute
+	}
+	if cfg.WindowLen == 0 {
+		cfg.WindowLen = 672
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 10
+	}
+	if cfg.Thresholds == (tiresias.Thresholds{}) {
+		cfg.Thresholds = tiresias.DefaultThresholds()
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 16
+	}
+	if cfg.MaxGap == 0 {
+		cfg.MaxGap = tiresias.DefaultMaxGap
+	} else if cfg.MaxGap < 0 {
+		cfg.MaxGap = 0 // 0 disables the bound in WithMaxGap terms
+	}
+	if cfg.IndexCap == 0 {
+		cfg.IndexCap = 65536
+	}
+	if cfg.Store == nil {
+		cfg.Store = tiresias.NewStore()
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.PageLimit == 0 {
+		cfg.PageLimit = 1000
+	}
+	if cfg.WatchBuffer == 0 {
+		cfg.WatchBuffer = 256
+	}
+	if cfg.WatchHeartbeat == 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return cfg
+}
+
+// Server serves the tiresias wire API over a Manager fleet. Construct
+// with New, mount Handler, and Close when done (drains the ingestion
+// pipeline and disconnects watchers).
+type Server struct {
+	cfg       Config
+	mgr       *tiresias.Manager
+	ix        *tiresias.AnomalyIndex
+	store     *tiresias.Store
+	hub       *hub
+	mux       *http.ServeMux
+	pipelined bool
+
+	// ColdStarted reports that Config.Restore was set but the
+	// checkpoint directory held no checkpoint yet, so the fleet
+	// started cold — first boot of a durable deployment, not an
+	// error.
+	ColdStarted bool
+}
+
+// New builds a Server from cfg: detector options are validated
+// eagerly (bad configuration fails here, not mid-ingest), the fleet
+// is restored from Config.CheckpointDir when Config.Restore is set,
+// and all routes are wired.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		ix:        tiresias.NewAnomalyIndex(cfg.IndexCap),
+		store:     cfg.Store,
+		hub:       newHub(),
+		pipelined: cfg.QueueDepth > 0,
+	}
+	// Every live stream's detector feeds the dashboard store, so
+	// live detections surface next to loaded history.
+	liveOpts := append([]tiresias.Option{
+		tiresias.WithDelta(cfg.Delta),
+		tiresias.WithWindowLen(cfg.WindowLen),
+		tiresias.WithTheta(cfg.Theta),
+		tiresias.WithThresholds(cfg.Thresholds),
+		tiresias.WithSink(tiresias.NewStoreSink(s.store)),
+	}, cfg.DetectorOptions...)
+	// The Manager builds detectors lazily on first Feed; probe the
+	// configuration now so bad options fail at construction.
+	if _, err := tiresias.New(liveOpts...); err != nil {
+		return nil, err
+	}
+	mgrOpts := []tiresias.ManagerOption{
+		tiresias.WithShards(cfg.Shards),
+		tiresias.WithMaxGap(cfg.MaxGap),
+		tiresias.WithDetectorOptions(liveOpts...),
+		tiresias.WithAnomalyIndex(s.ix),
+		tiresias.WithAnomalyObserver(s.hub.publish),
+	}
+	if s.pipelined {
+		mgrOpts = append(mgrOpts, tiresias.WithPipeline(cfg.QueueDepth, cfg.Backpressure))
+	}
+	var err error
+	if cfg.Restore {
+		s.mgr, err = tiresias.ManagerFromCheckpoint(cfg.CheckpointDir, mgrOpts...)
+		if errors.Is(err, tiresias.ErrNoCheckpoint) {
+			// First boot of a durable deployment is a cold start,
+			// not an error — otherwise a service configured with
+			// restore-on-boot could never write its first
+			// checkpoint.
+			s.ColdStarted = true
+			s.mgr, err = tiresias.NewManager(mgrOpts...)
+		}
+	} else {
+		s.mgr, err = tiresias.NewManager(mgrOpts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.routes()
+	return s, nil
+}
+
+// routes wires the /v2 API, the deprecated /v1 shims, and the
+// dashboard.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v2/records", s.ingestV2)
+	s.mux.HandleFunc("GET /v2/anomalies", s.anomaliesV2)
+	s.mux.HandleFunc("GET /v2/anomalies/watch", s.watch)
+	s.mux.HandleFunc("GET /v2/streams", s.streamsV2)
+	s.mux.HandleFunc("GET /v2/streams/{id}", s.streamDetailV2)
+	s.mux.HandleFunc("GET /v2/stats", s.statsV2)
+	s.mux.HandleFunc("GET /v2/config", s.configV2)
+	s.mux.HandleFunc("POST /v2/checkpoint", s.checkpointV2)
+	s.routesV1()
+	// The dashboard serves the HTML report at "/" and keeps its
+	// legacy JSON API at /anomalies and /stats.
+	s.mux.Handle("/", s.store.DashboardHandler())
+}
+
+// Handler returns the root handler: /v2, the /v1 shims, and the
+// dashboard.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager exposes the underlying fleet (for lifecycle hooks such as
+// periodic checkpoints; treat as shared).
+func (s *Server) Manager() *tiresias.Manager { return s.mgr }
+
+// Close drains the ingestion pipeline (every acknowledged record
+// flows through detection) and disconnects all watch subscribers.
+// Call it after the HTTP server has stopped accepting requests.
+func (s *Server) Close() error {
+	err := s.mgr.Close()
+	s.hub.closeAll()
+	return err
+}
+
+// Checkpoint snapshots every live stream into Config.CheckpointDir.
+func (s *Server) Checkpoint() (int, error) {
+	if s.cfg.CheckpointDir == "" {
+		return 0, fmt.Errorf("httpserve: checkpointing disabled (no CheckpointDir)")
+	}
+	return s.mgr.Checkpoint(s.cfg.CheckpointDir)
+}
+
+// wireError is an error on its way out: the structured envelope plus
+// the transport details each API version renders its own way.
+type wireError struct {
+	status     int
+	code       string
+	message    string
+	details    map[string]any
+	legacyMsg  string // /v1 plain-text body ("" → message)
+	retryAfter time.Duration
+}
+
+func (e *wireError) legacy() string {
+	if e.legacyMsg != "" {
+		return e.legacyMsg
+	}
+	return e.message
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErrorV2 renders a wireError as the /v2 structured envelope.
+func writeErrorV2(w http.ResponseWriter, e *wireError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(e.retryAfter))
+	}
+	writeJSON(w, e.status, api.ErrorResponse{Error: &api.Error{
+		Code:    e.code,
+		Message: e.message,
+		Details: e.details,
+	}})
+}
+
+// writeErrorV1 renders a wireError for the legacy /v1 surface:
+// plain-text bodies as before, except queue-full 429s, which gained
+// the Retry-After header and the structured body (a deliberate v1
+// improvement — clients keying on the status code are unaffected).
+func writeErrorV1(w http.ResponseWriter, e *wireError) {
+	if e.code == api.CodeQueueFull {
+		writeErrorV2(w, e)
+		return
+	}
+	http.Error(w, e.legacy(), e.status)
+}
+
+// retryAfterSeconds renders a delay as the whole-second Retry-After
+// header value, rounding up so a sub-second hint never becomes 0.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// errBodyTooLarge marks an ingest body over Config.MaxBodyBytes.
+var errBodyTooLarge = errors.New("request body too large")
+
+// ingest is the shared ingest core behind POST /v1/records and
+// POST /v2/records: decode (JSON object, array, or NDJSON), validate
+// the whole batch before feeding anything, then feed or enqueue
+// per-stream groups.
+func (s *Server) ingest(r *http.Request) (api.IngestResponse, *wireError) {
+	resp := api.IngestResponse{Anomalies: []tiresias.Anomaly{}}
+	recs, err := s.decodeRecords(r.Body, r.Header.Get("Content-Type"))
+	if errors.Is(err, errBodyTooLarge) {
+		return resp, &wireError{
+			status:  http.StatusRequestEntityTooLarge,
+			code:    api.CodeBodyTooLarge,
+			message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+		}
+	}
+	if err != nil {
+		return resp, &wireError{
+			status:  http.StatusBadRequest,
+			code:    api.CodeBadRequest,
+			message: err.Error(),
+		}
+	}
+	// Validate the whole batch before feeding anything, so a 400 for
+	// a malformed record has no side effects and the client can
+	// safely fix and re-post the batch.
+	for i, rec := range recs {
+		var what string
+		switch {
+		case len(rec.Path) == 0:
+			what = "empty path"
+		case rec.Time.IsZero():
+			what = "missing time"
+		default:
+			continue
+		}
+		return resp, &wireError{
+			status:    http.StatusBadRequest,
+			code:      api.CodeInvalidRecord,
+			message:   fmt.Sprintf("record %d: %s", i, what),
+			details:   map[string]any{"record": i},
+			legacyMsg: fmt.Sprintf("record %d: %s (accepted 0)", i, what),
+		}
+	}
+	groups := groupByStream(recs)
+	if s.pipelined {
+		resp.Queued = true
+		for _, g := range groups {
+			if err := s.mgr.EnqueueBatch(g.stream, g.recs); err != nil {
+				code := api.CodeFor(err, api.CodeInternal)
+				we := &wireError{
+					status:    api.StatusFor(code),
+					code:      code,
+					message:   err.Error(),
+					details:   map[string]any{"accepted": resp.Accepted},
+					legacyMsg: fmt.Sprintf("%v (accepted %d)", err, resp.Accepted),
+				}
+				if code == api.CodeQueueFull {
+					we.retryAfter = s.cfg.RetryAfter
+				} else if we.status == http.StatusInternalServerError {
+					we.status = http.StatusServiceUnavailable
+				}
+				return resp, we
+			}
+			resp.Accepted += len(g.recs)
+		}
+	} else {
+		for _, g := range groups {
+			anoms, n, err := s.mgr.FeedBatch(g.stream, g.recs)
+			resp.Accepted += n
+			resp.Anomalies = append(resp.Anomalies, anoms...)
+			if err != nil {
+				// Out-of-order and gap errors depend on live stream
+				// state and can only surface mid-feed; report how
+				// far we got so the client can resume past the bad
+				// record.
+				code := api.CodeFor(err, api.CodeBadRequest)
+				return resp, &wireError{
+					status:    api.StatusFor(code),
+					code:      code,
+					message:   err.Error(),
+					details:   map[string]any{"accepted": resp.Accepted},
+					legacyMsg: fmt.Sprintf("%v (accepted %d)", err, resp.Accepted),
+				}
+			}
+		}
+	}
+	if r.URL.Query().Get("wait") != "" {
+		s.mgr.Drain()
+	}
+	return resp, nil
+}
+
+// ingestV2 serves POST /v2/records.
+func (s *Server) ingestV2(w http.ResponseWriter, r *http.Request) {
+	resp, we := s.ingest(r)
+	if we != nil {
+		writeErrorV2(w, we)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordGroup is a run of consecutive posted records for one stream,
+// the unit of batched feeding/enqueueing.
+type recordGroup struct {
+	stream string
+	recs   []tiresias.Record
+}
+
+// groupByStream splits posted records into consecutive same-stream
+// runs, preserving order within and across groups.
+func groupByStream(recs []api.Record) []recordGroup {
+	var out []recordGroup
+	for _, rec := range recs {
+		name := rec.Stream
+		if name == "" {
+			name = api.DefaultStream
+		}
+		r := tiresias.Record{Path: rec.Path, Time: rec.Time}
+		if n := len(out); n > 0 && out[n-1].stream == name {
+			out[n-1].recs = append(out[n-1].recs, r)
+			continue
+		}
+		out = append(out, recordGroup{stream: name, recs: []tiresias.Record{r}})
+	}
+	return out
+}
+
+// decodeRecords accepts a single JSON record, a JSON array, or NDJSON
+// (one record per line — by Content-Type application/x-ndjson, or
+// auto-detected when the body is multiple one-record lines).
+func (s *Server) decodeRecords(body io.Reader, contentType string) ([]api.Record, error) {
+	raw, err := io.ReadAll(io.LimitReader(body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if int64(len(raw)) > s.cfg.MaxBodyBytes {
+		return nil, errBodyTooLarge
+	}
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty request body")
+	}
+	if strings.Contains(contentType, "ndjson") {
+		return decodeNDJSON(trimmed)
+	}
+	if trimmed[0] == '[' {
+		var recs []api.Record
+		if err := json.Unmarshal(trimmed, &recs); err != nil {
+			return nil, fmt.Errorf("bad record array: %w", err)
+		}
+		return recs, nil
+	}
+	var rec api.Record
+	if err := json.Unmarshal(trimmed, &rec); err != nil {
+		// A bare NDJSON body (curl --data-binary @records.ndjson
+		// with no content type) fails single-object decoding on the
+		// second line; accept it when every line parses on its own.
+		if recs, ndErr := decodeNDJSON(trimmed); ndErr == nil && len(recs) > 1 {
+			return recs, nil
+		}
+		return nil, fmt.Errorf("bad record: %w", err)
+	}
+	return []api.Record{rec}, nil
+}
+
+// decodeNDJSON parses one JSON record per line, skipping blank lines.
+func decodeNDJSON(raw []byte) ([]api.Record, error) {
+	var recs []api.Record
+	for n, line := range bytes.Split(raw, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec api.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("bad record on line %d: %w", n+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("empty request body")
+	}
+	return recs, nil
+}
+
+// anomalyQuery parses the shared anomaly-query parameters (stream,
+// under, from, to, cursor) of the query and watch endpoints. reset
+// reports a syntactically valid cursor from a different index epoch
+// (the walk restarts from the oldest retained entry).
+func (s *Server) anomalyQuery(r *http.Request) (q tiresias.AnomalyQuery, reset bool, we *wireError) {
+	q = tiresias.AnomalyQuery{Stream: r.URL.Query().Get("stream")}
+	if under := r.URL.Query().Get("under"); under != "" {
+		q.Under = tiresias.KeyOf(strings.Split(under, "/"))
+	}
+	var err error
+	if v := r.URL.Query().Get("from"); v != "" {
+		if q.From, err = time.Parse(time.RFC3339, v); err != nil {
+			return q, false, badParam("from", err)
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if q.To, err = time.Parse(time.RFC3339, v); err != nil {
+			return q, false, badParam("to", err)
+		}
+	}
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		epoch, seq, err := api.ParseCursor(v)
+		if err != nil {
+			return q, false, badParam("cursor", err)
+		}
+		if epoch != 0 && epoch != s.ix.Epoch() {
+			// A cursor from another index instance (server restart):
+			// its sequence numbers mean nothing here. Restart the
+			// walk and say so, instead of silently reinterpreting
+			// the number in the new epoch — which could skip or
+			// repeat entries arbitrarily.
+			return q, true, nil
+		}
+		q.Since = seq
+	}
+	return q, false, nil
+}
+
+// cursor renders an index position as a wire token under this
+// server's epoch.
+func (s *Server) cursor(seq uint64) string {
+	return api.Cursor(s.ix.Epoch(), seq)
+}
+
+// badParam builds the wireError for one unparsable query parameter.
+func badParam(name string, err error) *wireError {
+	return &wireError{
+		status:  http.StatusBadRequest,
+		code:    api.CodeBadRequest,
+		message: fmt.Sprintf("bad %s: %v", name, err),
+		details: map[string]any{"param": name},
+	}
+}
+
+// anomaliesV2 serves GET /v2/anomalies: forward cursor pagination
+// over the bounded index, oldest first, with a hard page cap and
+// explicit eviction accounting.
+func (s *Server) anomaliesV2(w http.ResponseWriter, r *http.Request) {
+	q, reset, we := s.anomalyQuery(r)
+	if we != nil {
+		writeErrorV2(w, we)
+		return
+	}
+	q.Limit = 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErrorV2(w, badParam("limit", fmt.Errorf("want a positive integer, got %q", v)))
+			return
+		}
+		q.Limit = n
+	}
+	if q.Limit > s.cfg.PageLimit {
+		q.Limit = s.cfg.PageLimit
+	}
+	p := s.ix.PageAfter(q)
+	if p.Entries == nil {
+		p.Entries = []tiresias.AnomalyEntry{}
+	}
+	resp := api.AnomaliesPage{
+		Entries:     p.Entries,
+		Cursor:      s.cursor(p.Next),
+		Missed:      p.Missed,
+		CursorReset: reset,
+		Stats:       s.ix.Stats(),
+	}
+	if p.More {
+		resp.NextCursor = s.cursor(p.Next)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamsV2 serves GET /v2/streams.
+func (s *Server) streamsV2(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Streams())
+}
+
+// streamDetailV2 serves GET /v2/streams/{id}: status plus the
+// stream's current hierarchical heavy hitters.
+func (s *Server) streamDetailV2(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	st, hh, ok := s.mgr.Stream(name)
+	if !ok {
+		writeErrorV2(w, &wireError{
+			status:  http.StatusNotFound,
+			code:    api.CodeUnknownStream,
+			message: fmt.Sprintf("unknown stream %q", name),
+			details: map[string]any{"stream": name},
+		})
+		return
+	}
+	if hh == nil {
+		hh = []tiresias.Key{}
+	}
+	writeJSON(w, http.StatusOK, api.StreamDetail{StreamStatus: st, HeavyHitters: hh})
+}
+
+// statsV2 serves GET /v2/stats.
+func (s *Server) statsV2(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.StatsResponse{
+		Manager:  s.mgr.Stats(),
+		Index:    s.ix.Stats(),
+		Watch:    s.hub.stats(),
+		StoreLen: s.store.Len(),
+	})
+}
+
+// configV2 serves GET /v2/config.
+func (s *Server) configV2(w http.ResponseWriter, r *http.Request) {
+	cfg := api.ServerConfig{
+		APIVersions:   []string{"v1", api.Version},
+		Delta:         s.cfg.Delta.String(),
+		WindowLen:     s.cfg.WindowLen,
+		Theta:         s.cfg.Theta,
+		Thresholds:    s.cfg.Thresholds,
+		Shards:        s.cfg.Shards,
+		MaxGap:        s.cfg.MaxGap,
+		Pipelined:     s.pipelined,
+		IndexCap:      s.cfg.IndexCap,
+		Checkpointing: s.cfg.CheckpointDir != "",
+		MaxBodyBytes:  s.cfg.MaxBodyBytes,
+		PageLimit:     s.cfg.PageLimit,
+	}
+	if s.pipelined {
+		cfg.QueueDepth = s.cfg.QueueDepth
+		cfg.Backpressure = s.cfg.Backpressure.String()
+	}
+	writeJSON(w, http.StatusOK, cfg)
+}
+
+// checkpoint is the shared core of POST /v1/checkpoint and
+// POST /v2/checkpoint.
+func (s *Server) checkpoint() (api.CheckpointResponse, *wireError) {
+	if s.cfg.CheckpointDir == "" {
+		return api.CheckpointResponse{}, &wireError{
+			status:    http.StatusConflict,
+			code:      api.CodeCheckpointDisabled,
+			message:   "checkpointing disabled: start with a checkpoint directory",
+			legacyMsg: "checkpointing disabled: start with -checkpoint-dir",
+		}
+	}
+	n, err := s.mgr.Checkpoint(s.cfg.CheckpointDir)
+	if err != nil {
+		return api.CheckpointResponse{}, &wireError{
+			status:  http.StatusInternalServerError,
+			code:    api.CodeInternal,
+			message: err.Error(),
+		}
+	}
+	return api.CheckpointResponse{Streams: n, Dir: s.cfg.CheckpointDir}, nil
+}
+
+// checkpointV2 serves POST /v2/checkpoint.
+func (s *Server) checkpointV2(w http.ResponseWriter, r *http.Request) {
+	resp, we := s.checkpoint()
+	if we != nil {
+		writeErrorV2(w, we)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

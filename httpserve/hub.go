@@ -1,0 +1,266 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"tiresias"
+	"tiresias/api"
+)
+
+// The watch hub is the fan-out subscription sink behind
+// GET /v2/anomalies/watch: the Manager's anomaly observer publishes
+// every indexed entry to each subscriber's bounded buffer. A
+// subscriber that falls a full buffer behind is disconnected with an
+// accounted drop (never silently skipped ahead): because every entry
+// carries its index cursor, the client resumes by cursor and replays
+// the gap from the index, so slowness costs a reconnect, not data —
+// up to the index's retention horizon, which the replay reports
+// honestly via Missed.
+
+// subscriber is one attached watcher: a bounded entry buffer plus its
+// lag accounting.
+type subscriber struct {
+	ch chan tiresias.AnomalyEntry
+	// lagged is set (under the hub lock, before ch is closed) when
+	// the hub disconnected this subscriber for falling behind;
+	// dropped counts the entries it missed. Readers may access both
+	// only after ch is closed.
+	lagged  bool
+	dropped uint64
+}
+
+// hub fans indexed anomaly entries out to all subscribers.
+type hub struct {
+	mu        sync.Mutex
+	subs      map[*subscriber]struct{}
+	delivered uint64
+	dropped   uint64
+	lagged    uint64
+	closed    bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// publish delivers entries to every subscriber without blocking: it
+// runs on the detecting goroutine under a Manager shard lock, so a
+// full subscriber buffer disconnects that subscriber (drops counted)
+// instead of stalling detection.
+func (h *hub) publish(entries []tiresias.AnomalyEntry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		h.deliver(s, entries)
+	}
+}
+
+// deliver buffers entries for one subscriber, disconnecting it on the
+// first full-buffer drop. The hub lock must be held.
+func (h *hub) deliver(s *subscriber, entries []tiresias.AnomalyEntry) {
+	for i, e := range entries {
+		select {
+		case s.ch <- e:
+			h.delivered++
+		default:
+			n := uint64(len(entries) - i)
+			s.dropped += n
+			h.dropped += n
+			h.lagged++
+			s.lagged = true
+			close(s.ch)
+			delete(h.subs, s)
+			return
+		}
+	}
+}
+
+// subscribe attaches a new watcher with a buffer of buf entries.
+// Returns nil when the hub is already closed (server shutting down).
+func (h *hub) subscribe(buf int) *subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	s := &subscriber{ch: make(chan tiresias.AnomalyEntry, buf)}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe detaches s if still attached (a lagged disconnect
+// already removed it).
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}
+
+// closeAll disconnects every subscriber (without marking them lagged)
+// and refuses new ones; used at server shutdown.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for s := range h.subs {
+		close(s.ch)
+		delete(h.subs, s)
+	}
+}
+
+// stats snapshots the fan-out accounting.
+func (h *hub) stats() api.WatchStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return api.WatchStats{
+		Subscribers: len(h.subs),
+		Delivered:   h.delivered,
+		Dropped:     h.dropped,
+		Lagged:      h.lagged,
+	}
+}
+
+// sseWriter renders SSE frames and flushes after each one.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// event writes one SSE frame: optional id, event name, JSON data.
+func (s sseWriter) event(id, name string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if id != "" {
+		fmt.Fprintf(s.w, "id: %s\n", id)
+	}
+	_, err = fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, raw)
+	s.f.Flush()
+	return err
+}
+
+// comment writes an SSE comment line (keep-alive, diagnostics).
+func (s sseWriter) comment(text string) {
+	fmt.Fprintf(s.w, ": %s\n\n", text)
+	s.f.Flush()
+}
+
+// watch serves GET /v2/anomalies/watch: an SSE stream of anomaly
+// entries matching the optional stream/under filters, starting after
+// the ?cursor= position. The handler first replays retained history
+// from the index (reporting evicted entries as a `missed` comment),
+// then streams live entries from the hub. Each event's SSE id is its
+// cursor; on any disconnect — including a lagged disconnect for slow
+// consumers — the client reconnects with the last id and loses
+// nothing still retained.
+func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
+	q, reset, we := s.anomalyQuery(r)
+	if we != nil {
+		writeErrorV2(w, we)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErrorV2(w, &wireError{
+			status:  http.StatusInternalServerError,
+			code:    api.CodeInternal,
+			message: "response writer does not support streaming",
+		})
+		return
+	}
+	sub := s.hub.subscribe(s.cfg.WatchBuffer)
+	if sub == nil {
+		writeErrorV2(w, &wireError{
+			status:  http.StatusServiceUnavailable,
+			code:    api.CodePipelineClosed,
+			message: "server is shutting down",
+		})
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	sse := sseWriter{w: w, f: flusher}
+
+	// Replay retained history after the cursor. Subscribing before
+	// the replay snapshot means every live entry is either in the
+	// snapshot (seq <= replay horizon, skipped below) or delivered
+	// through the buffer — no gap between the two phases. The live
+	// phase filters with the same Query.Matches as the replay, so
+	// the two phases cannot disagree on what the subscription
+	// covers.
+	liveFilter := q // the replay-horizon seq check below subsumes Since
+	q.Limit = s.cfg.PageLimit
+	if reset {
+		// The cursor came from a previous index epoch (server
+		// restart); the walk restarts from the oldest retained
+		// entry, and the client learns why instead of silently
+		// re-receiving or missing entries.
+		sse.comment("cursor_reset: cursor from a previous index epoch")
+	}
+	for {
+		p := s.ix.PageAfter(q)
+		if p.Missed > 0 {
+			// The cursor predates the eviction horizon: say so
+			// instead of silently starting later.
+			sse.comment(fmt.Sprintf("missed=%d evicted before cursor", p.Missed))
+		}
+		for _, e := range p.Entries {
+			if err := sse.event(s.cursor(e.Seq), api.EventAnomaly, e); err != nil {
+				return
+			}
+		}
+		q.Since = p.Next
+		if !p.More {
+			break
+		}
+	}
+	replayed := q.Since
+	last := replayed // cursor of the last event actually sent
+	sse.comment("live")
+
+	heartbeat := time.NewTicker(s.cfg.WatchHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, open := <-sub.ch:
+			if !open {
+				if sub.lagged {
+					// Tell the client it fell behind and where to
+					// resume; dropping silently would turn slowness
+					// into data loss.
+					_ = sse.event("", api.EventLagged, api.LaggedEvent{
+						Dropped: sub.dropped,
+						Cursor:  s.cursor(last),
+					})
+				}
+				return
+			}
+			if e.Seq <= replayed {
+				continue // already sent by the replay
+			}
+			if !liveFilter.Matches(e) {
+				continue
+			}
+			if err := sse.event(s.cursor(e.Seq), api.EventAnomaly, e); err != nil {
+				return
+			}
+			last = e.Seq
+		case <-heartbeat.C:
+			sse.comment("hb")
+		}
+	}
+}

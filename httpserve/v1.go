@@ -1,0 +1,125 @@
+package httpserve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tiresias"
+)
+
+// The deprecated /v1 surface: thin shims over the same ingest,
+// query, stats, and checkpoint cores as /v2, preserving the legacy
+// response shapes (plain-text errors, newest-first anomaly lists, no
+// cursors) for clients written against the original ad-hoc API. Every
+// response carries a Deprecation header and a successor-version Link.
+// One deliberate improvement over the original: queue-full rejections
+// now return the structured 429 with a Retry-After header (see
+// writeErrorV1) — clients keying on the status code are unaffected.
+
+// routesV1 mounts the deprecated v1 shims.
+func (s *Server) routesV1() {
+	v1 := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", `version="v1"`)
+			w.Header().Set("Link", `</v2>; rel="successor-version"`)
+			h(w, r)
+		}
+	}
+	s.mux.HandleFunc("POST /v1/records", v1(s.ingestV1))
+	s.mux.HandleFunc("GET /v1/streams", v1(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.mgr.Streams())
+	}))
+	s.mux.HandleFunc("GET /v1/anomalies", v1(s.anomaliesV1))
+	s.mux.HandleFunc("GET /v1/stats", v1(s.statsV1))
+	s.mux.HandleFunc("POST /v1/checkpoint", v1(s.checkpointV1))
+}
+
+// ingestV1 serves POST /v1/records with the legacy error style.
+func (s *Server) ingestV1(w http.ResponseWriter, r *http.Request) {
+	resp, we := s.ingest(r)
+	if we != nil {
+		writeErrorV1(w, we)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// anomaliesV1Response is the legacy GET /v1/anomalies payload:
+// newest-first entries, no cursor.
+type anomaliesV1Response struct {
+	// Entries are the matching entries, newest first.
+	Entries []tiresias.AnomalyEntry `json:"entries"`
+	// Stats snapshots the index.
+	Stats tiresias.IndexStats `json:"stats"`
+}
+
+// anomaliesV1 serves the legacy newest-first query (raw `since`
+// sequence numbers instead of opaque cursors, arbitrary limits).
+func (s *Server) anomaliesV1(w http.ResponseWriter, r *http.Request) {
+	q := tiresias.AnomalyQuery{Stream: r.URL.Query().Get("stream"), Limit: 100}
+	if under := r.URL.Query().Get("under"); under != "" {
+		q.Under = tiresias.KeyOf(strings.Split(under, "/"))
+	}
+	var err error
+	if v := r.URL.Query().Get("from"); v != "" {
+		if q.From, err = time.Parse(time.RFC3339, v); err != nil {
+			http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if q.To, err = time.Parse(time.RFC3339, v); err != nil {
+			http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		if q.Since, err = strconv.ParseUint(v, 10, 64); err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if q.Limit, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	entries := s.ix.Query(q)
+	if entries == nil {
+		entries = []tiresias.AnomalyEntry{}
+	}
+	writeJSON(w, http.StatusOK, anomaliesV1Response{Entries: entries, Stats: s.ix.Stats()})
+}
+
+// statsV1Response is the legacy GET /v1/stats payload.
+type statsV1Response struct {
+	// Manager reports throughput and queue state.
+	Manager tiresias.ManagerStats `json:"manager"`
+	// Index reports anomaly-index occupancy.
+	Index tiresias.IndexStats `json:"index"`
+	// StoreLen is the dashboard store size.
+	StoreLen int `json:"storeLen"`
+}
+
+// statsV1 serves the legacy stats payload (no watch section).
+func (s *Server) statsV1(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsV1Response{
+		Manager:  s.mgr.Stats(),
+		Index:    s.ix.Stats(),
+		StoreLen: s.store.Len(),
+	})
+}
+
+// checkpointV1 serves POST /v1/checkpoint with the legacy error
+// style.
+func (s *Server) checkpointV1(w http.ResponseWriter, r *http.Request) {
+	resp, we := s.checkpoint()
+	if we != nil {
+		writeErrorV1(w, we)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

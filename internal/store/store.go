@@ -13,6 +13,7 @@
 package store
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -47,6 +48,17 @@ type Stats struct {
 	// Evicted is the number of entries overwritten by newer ones;
 	// Added - Evicted == Len.
 	Evicted uint64 `json:"evicted"`
+	// OldestSeq is the sequence number of the oldest retained entry
+	// (0 when the index is empty): the eviction horizon. A cursor
+	// below OldestSeq-1 has missed entries that can no longer be
+	// served.
+	OldestSeq uint64 `json:"oldestSeq"`
+	// Epoch identifies this index instance. Sequence numbers are
+	// only comparable within one epoch: a fresh index (e.g. after a
+	// server restart) restarts Seq from 1 under a new Epoch, so a
+	// cursor carrying a different epoch must be treated as invalid
+	// rather than silently reapplied.
+	Epoch uint64 `json:"epoch"`
 }
 
 // Index is a bounded, concurrency-safe anomaly ring buffer. Insertion
@@ -61,24 +73,32 @@ type Index struct {
 	added   uint64
 	evicted uint64
 	seq     uint64
+	epoch   uint64
 }
 
 // New returns an empty Index retaining at most capacity entries;
 // capacity <= 0 selects DefaultCapacity. The buffer grows lazily, so
-// a large capacity costs memory only as entries accumulate.
+// a large capacity costs memory only as entries accumulate. Each
+// Index gets a fresh Epoch, scoping its sequence numbers.
 func New(capacity int) *Index {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Index{cap: capacity}
+	return &Index{cap: capacity, epoch: uint64(time.Now().UnixNano())}
 }
 
+// Epoch identifies this index instance; see Stats.Epoch.
+func (x *Index) Epoch() uint64 { return x.epoch }
+
 // Add inserts anomalies from the named stream, evicting the oldest
-// entries if the index is full. Safe for concurrent use.
-func (x *Index) Add(stream string, anoms ...detect.Anomaly) {
+// entries if the index is full, and returns the inserted entries with
+// their assigned sequence numbers (the caller owns the slice) — the
+// hook live subscription fan-outs build on. Safe for concurrent use.
+func (x *Index) Add(stream string, anoms ...detect.Anomaly) []Entry {
 	if len(anoms) == 0 {
-		return
+		return nil
 	}
+	out := make([]Entry, 0, len(anoms))
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	for _, a := range anoms {
@@ -93,7 +113,9 @@ func (x *Index) Add(stream string, anoms ...detect.Anomaly) {
 			x.evicted++
 		}
 		x.added++
+		out = append(out, e)
 	}
+	return out
 }
 
 // at returns the i-th retained entry, oldest first (0 <= i < count).
@@ -112,7 +134,11 @@ func (x *Index) Len() int {
 func (x *Index) Stats() Stats {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	return Stats{Capacity: x.cap, Len: x.count, Added: x.added, Evicted: x.evicted}
+	s := Stats{Capacity: x.cap, Len: x.count, Added: x.added, Evicted: x.evicted, Epoch: x.epoch}
+	if x.count > 0 {
+		s.OldestSeq = x.at(0).Seq
+	}
+	return s
 }
 
 // Query filters retained entries. Zero-valued fields match everything.
@@ -134,7 +160,11 @@ type Query struct {
 	Limit int
 }
 
-func (q Query) matches(e Entry) bool {
+// Matches reports whether e satisfies every filter of q — the single
+// definition of query semantics, shared by Query, PageAfter, and the
+// serving layer's live watch filter (so replayed and live entries
+// can never disagree on what matches).
+func (q Query) Matches(e Entry) bool {
 	if q.Stream != "" && e.Stream != q.Stream {
 		return false
 	}
@@ -161,6 +191,64 @@ func (q Query) matches(e Entry) bool {
 	return true
 }
 
+// Page is one forward (oldest-first) page of entries, the unit of
+// cursor pagination: repeated calls with Next fed back as Query.Since
+// walk every retained matching entry exactly once, in ascending
+// sequence order, even while new entries are being added.
+type Page struct {
+	// Entries are the matching entries, oldest first (ascending Seq).
+	Entries []Entry
+	// Next is the resume cursor: pass it as the next page's
+	// Query.Since. When More is false, Next has advanced past every
+	// retained entry examined, so polling with it never rescans.
+	Next uint64
+	// More reports whether retained entries beyond Next remain (the
+	// page filled before the scan reached the newest entry).
+	More bool
+	// Missed counts entries that matched the cursor range but were
+	// evicted before this call: the entries with sequence numbers in
+	// (Since, OldestSeq) that no longer exist. A non-zero Missed
+	// means the cursor predates the eviction horizon and the walk
+	// has lost data — reported, never silently skipped.
+	Missed uint64
+}
+
+// PageAfter returns the next page of entries matching q, oldest
+// first, starting strictly after the q.Since cursor. q.Limit bounds
+// the page size (<= 0 means all retained entries). Unlike Query —
+// which keeps the *newest* matches when limited — PageAfter keeps the
+// oldest, which is what makes feeding Page.Next back as Since a
+// complete, duplicate-free forward walk.
+func (x *Index) PageAfter(q Query) Page {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	p := Page{Next: q.Since}
+	if x.count == 0 {
+		return p
+	}
+	oldest := x.at(0).Seq
+	if q.Since+1 < oldest {
+		// Sequence numbers are contiguous, so the evicted range
+		// (Since, oldest) is exactly countable.
+		p.Missed = oldest - 1 - q.Since
+	}
+	// Entries are stored in ascending Seq order; binary-search the
+	// first one past the cursor.
+	i := sort.Search(x.count, func(i int) bool { return x.at(i).Seq > q.Since })
+	for ; i < x.count; i++ {
+		e := x.at(i)
+		if q.Matches(e) {
+			p.Entries = append(p.Entries, e)
+		}
+		p.Next = e.Seq
+		if q.Limit > 0 && len(p.Entries) == q.Limit {
+			p.More = i+1 < x.count
+			break
+		}
+	}
+	return p
+}
+
 // Query returns the matching entries, newest first (descending Seq).
 // A Limit keeps the newest matches. The result is a copy; the caller
 // owns it.
@@ -173,7 +261,7 @@ func (x *Index) Query(q Query) []Entry {
 		if e.Seq <= q.Since {
 			break // entries are seq-ordered; nothing older matches
 		}
-		if q.matches(e) {
+		if q.Matches(e) {
 			out = append(out, e)
 			if q.Limit > 0 && len(out) == q.Limit {
 				break

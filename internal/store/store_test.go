@@ -169,3 +169,158 @@ func TestConcurrentAddQuery(t *testing.T) {
 		}
 	}
 }
+
+// TestSinceCursorAcrossEviction pins the since-cursor contract on a
+// wrapped ring: a cursor older than the eviction horizon must return
+// exactly the retained entries — never resurrect evicted sequence
+// numbers, never skip retained ones, and (for PageAfter) report the
+// loss instead of hiding it.
+func TestSinceCursorAcrossEviction(t *testing.T) {
+	x := New(4)
+	b := base()
+	for i := 1; i <= 10; i++ { // seqs 1..10; 1..6 evicted, 7..10 retained
+		x.Add("s", anom(fmt.Sprintf("vho%d", i), b.Add(time.Duration(i)*time.Minute)))
+	}
+	for _, tc := range []struct {
+		since uint64
+		want  []uint64 // ascending (PageAfter order)
+	}{
+		{0, []uint64{7, 8, 9, 10}}, // far below horizon
+		{3, []uint64{7, 8, 9, 10}}, // mid-evicted range
+		{6, []uint64{7, 8, 9, 10}}, // exactly the horizon boundary
+		{7, []uint64{8, 9, 10}},    // oldest retained already seen
+		{9, []uint64{10}},          // all but the newest seen
+		{10, nil},                  // fully caught up
+		{99, nil},                  // cursor from the future
+	} {
+		p := x.PageAfter(Query{Since: tc.since})
+		if len(p.Entries) != len(tc.want) {
+			t.Fatalf("since=%d: got %d entries, want %d", tc.since, len(p.Entries), len(tc.want))
+		}
+		for i, w := range tc.want {
+			if p.Entries[i].Seq != w {
+				t.Fatalf("since=%d: entry %d seq = %d, want %d", tc.since, i, p.Entries[i].Seq, w)
+			}
+		}
+		// Query (newest first) must agree on the set.
+		desc := x.Query(Query{Since: tc.since})
+		if len(desc) != len(tc.want) {
+			t.Fatalf("since=%d: Query returned %d entries, want %d", tc.since, len(desc), len(tc.want))
+		}
+		for i, w := range tc.want {
+			if got := desc[len(desc)-1-i].Seq; got != w {
+				t.Fatalf("since=%d: Query entry (asc) %d seq = %d, want %d", tc.since, i, got, w)
+			}
+		}
+		// Missed counts exactly the evicted seqs past the cursor.
+		wantMissed := uint64(0)
+		if tc.since < 6 {
+			wantMissed = 6 - tc.since
+		}
+		if p.Missed != wantMissed {
+			t.Fatalf("since=%d: missed = %d, want %d", tc.since, p.Missed, wantMissed)
+		}
+	}
+	if st := x.Stats(); st.OldestSeq != 7 {
+		t.Fatalf("OldestSeq = %d, want 7", st.OldestSeq)
+	}
+}
+
+// TestPageAfterWalksEverythingOnce pages a wrapped ring to exhaustion
+// with a small limit and checks the walk is complete and
+// duplicate-free even when the cursor starts below the horizon.
+func TestPageAfterWalksEverythingOnce(t *testing.T) {
+	x := New(16)
+	b := base()
+	for i := 1; i <= 40; i++ { // retained: 25..40
+		x.Add("s", anom(fmt.Sprintf("vho%d", i%5), b.Add(time.Duration(i)*time.Minute)))
+	}
+	var seqs []uint64
+	cur := uint64(3) // below the eviction horizon
+	for pages := 0; ; pages++ {
+		if pages > 20 {
+			t.Fatal("pagination did not terminate")
+		}
+		p := x.PageAfter(Query{Since: cur, Limit: 5})
+		for _, e := range p.Entries {
+			seqs = append(seqs, e.Seq)
+		}
+		if pages == 0 && p.Missed != 24-3 {
+			t.Fatalf("first page missed = %d, want %d", p.Missed, 24-3)
+		}
+		if pages > 0 && p.Missed != 0 {
+			t.Fatalf("page %d reported missed = %d after a live cursor", pages, p.Missed)
+		}
+		cur = p.Next
+		if !p.More {
+			break
+		}
+	}
+	if len(seqs) != 16 {
+		t.Fatalf("walked %d entries, want 16", len(seqs))
+	}
+	for i, s := range seqs {
+		if want := uint64(25 + i); s != want {
+			t.Fatalf("walk position %d: seq = %d, want %d", i, s, want)
+		}
+	}
+	// The final cursor is live: nothing more until a new Add.
+	if p := x.PageAfter(Query{Since: cur}); len(p.Entries) != 0 || p.More {
+		t.Fatalf("post-walk page = %+v, want empty", p)
+	}
+	x.Add("s", anom("fresh", b.Add(time.Hour)))
+	p := x.PageAfter(Query{Since: cur})
+	if len(p.Entries) != 1 || p.Entries[0].Seq != 41 {
+		t.Fatalf("incremental page after Add = %+v", p)
+	}
+}
+
+// TestPageAfterFilteredPagesAdvance checks that a page whose scan
+// window contains only filtered-out entries still advances the
+// cursor, so a filtered walk cannot spin in place.
+func TestPageAfterFilteredPagesAdvance(t *testing.T) {
+	x := New(32)
+	b := base()
+	for i := 1; i <= 20; i++ {
+		stream := "noise"
+		if i%7 == 0 {
+			stream = "wanted"
+		}
+		x.Add(stream, anom("a", b.Add(time.Duration(i)*time.Minute)))
+	}
+	var got []uint64
+	cur := uint64(0)
+	for pages := 0; ; pages++ {
+		if pages > 40 {
+			t.Fatal("filtered pagination did not terminate")
+		}
+		p := x.PageAfter(Query{Stream: "wanted", Since: cur, Limit: 1})
+		for _, e := range p.Entries {
+			got = append(got, e.Seq)
+		}
+		if p.Next <= cur && (len(p.Entries) > 0 || p.More) {
+			t.Fatalf("cursor did not advance: %d -> %d", cur, p.Next)
+		}
+		cur = p.Next
+		if !p.More {
+			break
+		}
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 14 {
+		t.Fatalf("filtered walk = %v, want [7 14]", got)
+	}
+}
+
+// TestAddReturnsEntries checks Add hands back the inserted entries
+// with their assigned sequence numbers, in order.
+func TestAddReturnsEntries(t *testing.T) {
+	x := New(8)
+	b := base()
+	out := x.Add("s", anom("a", b), anom("b", b))
+	if len(out) != 2 || out[0].Seq != 1 || out[1].Seq != 2 || out[1].Stream != "s" {
+		t.Fatalf("Add returned %+v", out)
+	}
+	if x.Add("s") != nil {
+		t.Fatal("empty Add must return nil")
+	}
+}

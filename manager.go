@@ -23,9 +23,12 @@ type Manager struct {
 
 	// pipe is the asynchronous ingestion layer (nil unless built
 	// with WithPipeline); index is the attached anomaly store (nil
-	// unless built with WithAnomalyIndex).
-	pipe  *pipeline
-	index *AnomalyIndex
+	// unless built with WithAnomalyIndex); observer is the live
+	// subscription hook fed with every indexed entry (nil unless
+	// built with WithAnomalyObserver).
+	pipe     *pipeline
+	index    *AnomalyIndex
+	observer func([]AnomalyEntry)
 
 	// detectorOpts is the raw Option set given via WithDetectorOptions,
 	// retained so ManagerFromCheckpoint can re-apply it (sinks, ...) to
@@ -103,6 +106,7 @@ type managerOptions struct {
 	queueDepth   int
 	policy       BackpressurePolicy
 	index        *AnomalyIndex
+	observer     func([]AnomalyEntry)
 }
 
 // DefaultMaxGap bounds how many timeunits a single record may
@@ -196,12 +200,16 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 	default:
 		return nil, fmt.Errorf("tiresias: unknown backpressure policy %v", o.policy)
 	}
+	if o.observer != nil && o.index == nil {
+		return nil, fmt.Errorf("tiresias: WithAnomalyObserver requires WithAnomalyIndex (the index assigns the entry cursors the observer receives)")
+	}
 	m := &Manager{
 		shards:       make([]managerShard, o.shards),
 		factory:      o.factory,
 		maxGap:       o.maxGap,
 		detectorOpts: o.detectorOpts,
 		index:        o.index,
+		observer:     o.observer,
 	}
 	for i := range m.shards {
 		m.shards[i].streams = make(map[string]*managedStream)
@@ -319,10 +327,18 @@ func (ms *managedStream) feed(r Record) ([]Anomaly, error) {
 	return out, nil
 }
 
-// record appends detections to the attached AnomalyIndex, if any.
+// record appends detections to the attached AnomalyIndex, if any,
+// and forwards the indexed entries (now carrying their sequence-
+// number cursors) to the anomaly observer. The observer runs under
+// the shard lock, so it must not block; a subscription fan-out
+// buffers or drops, it never waits.
 func (m *Manager) record(streamName string, anoms []Anomaly) {
-	if m.index != nil && len(anoms) > 0 {
-		m.index.Add(streamName, anoms...)
+	if m.index == nil || len(anoms) == 0 {
+		return
+	}
+	entries := m.index.Add(streamName, anoms...)
+	if m.observer != nil {
+		m.observer(entries)
 	}
 }
 
@@ -439,6 +455,20 @@ type StreamStatus struct {
 	UnitStart time.Time `json:"unitStart"`
 }
 
+// status snapshots the stream's StreamStatus. The shard lock must be
+// held. Single construction site, so Streams and Stream cannot
+// drift.
+func (ms *managedStream) status(name string) StreamStatus {
+	return StreamStatus{
+		Name:          name,
+		Warm:          ms.det.Warm(),
+		Units:         ms.units,
+		Anomalies:     ms.anoms,
+		PendingWarmup: len(ms.warmBuf),
+		UnitStart:     ms.w.Start(),
+	}
+}
+
 // Streams snapshots every live stream, sorted by name.
 func (m *Manager) Streams() []StreamStatus {
 	var out []StreamStatus
@@ -446,17 +476,45 @@ func (m *Manager) Streams() []StreamStatus {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		for name, ms := range sh.streams {
-			out = append(out, StreamStatus{
-				Name:          name,
-				Warm:          ms.det.Warm(),
-				Units:         ms.units,
-				Anomalies:     ms.anoms,
-				PendingWarmup: len(ms.warmBuf),
-				UnitStart:     ms.w.Start(),
-			})
+			out = append(out, ms.status(name))
 		}
 		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Stream snapshots one managed stream by name together with its
+// current SHHH membership keys (the hierarchical heavy hitters of
+// its most recently processed timeunit), reporting whether the
+// stream exists — the per-stream detail read behind the serving
+// layer's GET /v2/streams/{id}, taken atomically under one shard
+// lock. hh is a copy; nil with ok == true means the stream has not
+// finished warmup.
+func (m *Manager) Stream(streamName string) (st StreamStatus, hh []Key, ok bool) {
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms, ok := sh.streams[streamName]
+	if !ok {
+		return StreamStatus{}, nil, false
+	}
+	return ms.status(streamName), ms.det.HeavyHitters(), true
+}
+
+// HeavyHitters returns the named stream's current SHHH membership
+// keys, reporting whether the stream exists — Stream without the
+// status snapshot. The slice is a copy; nil with ok == true means
+// the stream has not finished warmup. This surfaces per-stream
+// Tiresias.HeavyHitters through the Manager, so embedders can read
+// it without reaching into detectors.
+func (m *Manager) HeavyHitters(streamName string) (keys []Key, ok bool) {
+	sh := m.shardOf(streamName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms, ok := sh.streams[streamName]
+	if !ok {
+		return nil, false
+	}
+	return ms.det.HeavyHitters(), true
 }

@@ -256,3 +256,70 @@ func TestManagerFlushIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestManagerStreamAndHeavyHitters(t *testing.T) {
+	m := testManager(t, 4)
+	feedUnits(t, m, "tenant-a", 40, 20)
+	st, shh, ok := m.Stream("tenant-a")
+	if !ok || st.Name != "tenant-a" || !st.Warm || st.Units == 0 || len(shh) == 0 {
+		t.Fatalf("Stream = %+v, hh %v, %v", st, shh, ok)
+	}
+	if _, _, ok := m.Stream("nope"); ok {
+		t.Fatal("unknown stream must report ok == false")
+	}
+	hh, ok := m.HeavyHitters("tenant-a")
+	if !ok || len(hh) == 0 {
+		t.Fatalf("HeavyHitters = %v, %v (want non-empty on a warm bursty stream)", hh, ok)
+	}
+	if _, ok := m.HeavyHitters("nope"); ok {
+		t.Fatal("unknown stream must report ok == false")
+	}
+}
+
+func TestManagerAnomalyObserver(t *testing.T) {
+	ix := NewAnomalyIndex(64)
+	var mu sync.Mutex
+	var seen []AnomalyEntry
+	m, err := NewManager(
+		WithShards(2),
+		WithAnomalyIndex(ix),
+		WithAnomalyObserver(func(entries []AnomalyEntry) {
+			mu.Lock()
+			seen = append(seen, entries...)
+			mu.Unlock()
+		}),
+		WithDetectorOptions(
+			WithDelta(time.Minute), WithWindowLen(8), WithTheta(0.5),
+			WithSeasonality(1.0, 4), WithThresholds(Thresholds{RT: 2.0, DT: 5}),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anoms := feedUnits(t, m, "obs", 40, 20)
+	if len(anoms) == 0 {
+		t.Fatal("burst not detected")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(anoms) {
+		t.Fatalf("observer saw %d entries, Feed returned %d anomalies", len(seen), len(anoms))
+	}
+	for i, e := range seen {
+		if e.Stream != "obs" || e.Seq == 0 {
+			t.Fatalf("entry %d = %+v (want stream tag + assigned seq)", i, e)
+		}
+		if i > 0 && e.Seq <= seen[i-1].Seq {
+			t.Fatalf("single-stream entries out of seq order: %d then %d", seen[i-1].Seq, e.Seq)
+		}
+	}
+	if ix.Len() != len(anoms) {
+		t.Fatalf("index holds %d, want %d", ix.Len(), len(anoms))
+	}
+}
+
+func TestManagerObserverRequiresIndex(t *testing.T) {
+	if _, err := NewManager(WithAnomalyObserver(func([]AnomalyEntry) {})); err == nil {
+		t.Fatal("observer without index must fail NewManager")
+	}
+}

@@ -69,6 +69,22 @@ func WithAnomalyIndex(ix *AnomalyIndex) ManagerOption {
 	return managerOptionFunc(func(o *managerOptions) { o.index = ix })
 }
 
+// WithAnomalyObserver registers a live-subscription hook: after every
+// detection batch is recorded in the attached AnomalyIndex (which is
+// therefore required — NewManager rejects an observer without
+// WithAnomalyIndex), f receives the indexed entries carrying their
+// assigned sequence-number cursors. This is the feed behind fan-out
+// subscription sinks (e.g. the httpserve SSE watch hub): the index
+// provides the durable cursor space, the observer provides the push.
+//
+// f is called on the detecting goroutine under its shard lock, so it
+// must return quickly and must never block — buffer or drop instead.
+// Entries across concurrent shards may reach f slightly out of
+// sequence order; within one stream they are always in order.
+func WithAnomalyObserver(f func(entries []AnomalyEntry)) ManagerOption {
+	return managerOptionFunc(func(o *managerOptions) { o.observer = f })
+}
+
 // ErrQueueFull is returned by Enqueue/EnqueueBatch under the
 // ErrorWhenFull policy when the target shard's queue is full.
 var ErrQueueFull = errors.New("tiresias: pipeline queue full")
@@ -331,8 +347,8 @@ type ShardStats struct {
 }
 
 // ManagerStats is a point-in-time snapshot of a Manager's throughput
-// and, when pipelined, queue state — the payload of a /v1/stats
-// endpoint.
+// and, when pipelined, queue state — the manager section of the
+// serving layer's /v2/stats payload.
 type ManagerStats struct {
 	// Streams is the number of live streams.
 	Streams int `json:"streams"`
