@@ -40,6 +40,18 @@ const (
 	CodeUnknownStream = "unknown_stream"
 	// CodeNoCheckpoint maps tiresias.ErrNoCheckpoint.
 	CodeNoCheckpoint = "no_checkpoint"
+	// CodeBadCheckpoint maps tiresias.ErrBadCheckpoint: a checkpoint
+	// that failed to decode (truncation, corruption, version skew).
+	CodeBadCheckpoint = "bad_checkpoint"
+	// CodeNotWarm maps tiresias.ErrNotWarm: detection requested
+	// before warmup completed.
+	CodeNotWarm = "not_warm"
+	// CodeAlreadyWarm maps tiresias.ErrWarm: a warmup call on a
+	// detector that already completed it.
+	CodeAlreadyWarm = "already_warm"
+	// CodeNotPipelined maps tiresias.ErrNotPipelined: an asynchronous
+	// ingest path on a server running without a pipeline.
+	CodeNotPipelined = "not_pipelined"
 	// CodeCheckpointDisabled marks POST /v2/checkpoint on a server
 	// started without a checkpoint directory.
 	CodeCheckpointDisabled = "checkpoint_disabled"
@@ -105,6 +117,14 @@ func CodeFor(err error, fallback string) string {
 		return CodeMaxGap
 	case errors.Is(err, tiresias.ErrNoCheckpoint):
 		return CodeNoCheckpoint
+	case errors.Is(err, tiresias.ErrBadCheckpoint):
+		return CodeBadCheckpoint
+	case errors.Is(err, tiresias.ErrNotWarm):
+		return CodeNotWarm
+	case errors.Is(err, tiresias.ErrWarm):
+		return CodeAlreadyWarm
+	case errors.Is(err, tiresias.ErrNotPipelined):
+		return CodeNotPipelined
 	default:
 		return fallback
 	}
@@ -126,6 +146,14 @@ func sentinelFor(code string) error {
 		return tiresias.ErrMaxGap
 	case CodeNoCheckpoint:
 		return tiresias.ErrNoCheckpoint
+	case CodeBadCheckpoint:
+		return tiresias.ErrBadCheckpoint
+	case CodeNotWarm:
+		return tiresias.ErrNotWarm
+	case CodeAlreadyWarm:
+		return tiresias.ErrWarm
+	case CodeNotPipelined:
+		return tiresias.ErrNotPipelined
 	default:
 		return nil
 	}
@@ -146,8 +174,10 @@ func StatusFor(code string) int {
 		return http.StatusServiceUnavailable
 	case CodeUnknownStream, CodeNoCheckpoint:
 		return http.StatusNotFound
-	case CodeCheckpointDisabled:
+	case CodeCheckpointDisabled, CodeNotWarm, CodeAlreadyWarm, CodeNotPipelined:
 		return http.StatusConflict
+	case CodeBadCheckpoint:
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,156 @@
+// Command tiresias-vet is the repo's invariant checker: a multichecker
+// running the internal/analysis suite (hotpath, lockguard, wireerr,
+// ckptsec, forbidimport) over the given packages. It exits non-zero
+// when any analyzer reports a finding, so CI can run it as a blocking
+// lint step:
+//
+//	go run ./cmd/tiresias-vet ./...
+//
+// Findings are printed one per line as file:line:col: [analyzer]
+// message. A finding can be suppressed — deliberately and reviewably —
+// with a trailing or preceding `//tiresias:ignore [analyzer ...]`
+// comment at the flagged line.
+//
+// Flags:
+//
+//	-only name[,name...]   run only the named analyzers
+//	-forbid pkg=entry,...  replace the forbidimport denylist: entries
+//	                       containing a slash (or no dot) ban imports,
+//	                       entries of the form pkg.Ident ban calls; the
+//	                       flag repeats, one per target package
+//	-list                  print the analyzers and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tiresias/internal/analysis"
+)
+
+// forbidFlags accumulates repeated -forbid values.
+type forbidFlags []string
+
+// String implements flag.Value.
+func (f *forbidFlags) String() string { return strings.Join(*f, " ") }
+
+// Set implements flag.Value.
+func (f *forbidFlags) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		forbids forbidFlags
+	)
+	flag.Var(&forbids, "forbid", "forbidimport rule pkg=entry[,entry...] (repeatable; replaces the default denylist)")
+	flag.Parse()
+
+	analyzers := suite(forbids)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = filterAnalyzers(analyzers, strings.Split(*only, ","))
+		if len(analyzers) == 0 {
+			fmt.Fprintf(os.Stderr, "tiresias-vet: no analyzer matches -only %q\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tiresias-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "tiresias-vet: %s: %v\n", pkg.PkgPath, e)
+			failed = true
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tiresias-vet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// suite assembles the analyzer set, honoring -forbid overrides.
+func suite(forbids forbidFlags) []*analysis.Analyzer {
+	if len(forbids) == 0 {
+		return analysis.Analyzers()
+	}
+	rules, err := parseForbidRules(forbids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tiresias-vet: %v\n", err)
+		os.Exit(2)
+	}
+	return []*analysis.Analyzer{
+		analysis.Hotpath,
+		analysis.Lockguard,
+		analysis.Wireerr,
+		analysis.Ckptsec,
+		analysis.NewForbidImport(rules),
+	}
+}
+
+// parseForbidRules parses pkg=entry,... flag values into ForbidRules.
+func parseForbidRules(values []string) ([]analysis.ForbidRule, error) {
+	var rules []analysis.ForbidRule
+	for _, v := range values {
+		pkg, entries, ok := strings.Cut(v, "=")
+		if !ok || pkg == "" || entries == "" {
+			return nil, fmt.Errorf("-forbid %q: want pkg=entry[,entry...]", v)
+		}
+		r := analysis.ForbidRule{Packages: []string{pkg}}
+		for _, e := range strings.Split(entries, ",") {
+			e = strings.TrimSpace(e)
+			if e == "" {
+				continue
+			}
+			// "fmt.Sprintf" is a call ban; "encoding/json" (a slash,
+			// or no dot at all, e.g. "unsafe") is an import ban.
+			if !strings.Contains(e, "/") && strings.Contains(e, ".") {
+				r.Calls = append(r.Calls, e)
+			} else {
+				r.Imports = append(r.Imports, e)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// filterAnalyzers keeps the analyzers whose names appear in names.
+func filterAnalyzers(all []*analysis.Analyzer, names []string) []*analysis.Analyzer {
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if keep[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

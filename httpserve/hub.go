@@ -36,11 +36,11 @@ type subscriber struct {
 // hub fans indexed anomaly entries out to all subscribers.
 type hub struct {
 	mu        sync.Mutex
-	subs      map[*subscriber]struct{}
-	delivered uint64
-	dropped   uint64
-	lagged    uint64
-	closed    bool
+	subs      map[*subscriber]struct{} // guarded by mu
+	delivered uint64                   // guarded by mu
+	dropped   uint64                   // guarded by mu
+	lagged    uint64                   // guarded by mu
+	closed    bool                     // guarded by mu
 }
 
 func newHub() *hub {

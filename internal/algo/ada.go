@@ -1,8 +1,6 @@
 package algo
 
 import (
-	"time"
-
 	"tiresias/internal/forecast"
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/series"
@@ -124,7 +122,7 @@ func (a *ADA) Init(window []Timeunit) (*StepState, error) {
 	}
 	a.inited = true
 
-	start := time.Now()
+	start := now()
 	// Materialize the tree and per-unit counts.
 	units := make([]Timeunit, 0, a.cfg.WindowLen)
 	for _, u := range window {
@@ -147,12 +145,12 @@ func (a *ADA) Init(window []Timeunit) (*StepState, error) {
 	copy(a.weight, res.W)
 	copy(a.rawA, res.A)
 	copy(a.ishh, res.InSet)
-	tUpdate := time.Since(start)
+	tUpdate := now().Sub(start)
 
 	// Reconstruct series for the initial SHHH members plus the root
 	// (the root always holds the residual series so that it can
 	// re-enter SHHH without information loss).
-	start = time.Now()
+	start = now()
 	owners := append([]*hierarchy.Node(nil), res.Set...)
 	if !res.IsHH(a.tree.Root()) {
 		owners = append(owners, a.tree.Root())
@@ -219,14 +217,14 @@ func (a *ADA) Init(window []Timeunit) (*StepState, error) {
 		a.refModel[id].Update(vals[len(vals)-1])
 	}
 	a.refCovered = a.tree.Len()
-	tSeries := time.Since(start)
+	tSeries := now().Sub(start)
 
-	start = time.Now()
+	start = now()
 	st := a.snapshot()
 	st.Timings = StageTimings{
 		UpdatingHierarchies: tUpdate,
 		CreatingTimeSeries:  tSeries,
-		DetectingAnomalies:  time.Since(start),
+		DetectingAnomalies:  now().Sub(start),
 	}
 	return st, nil
 }
@@ -326,6 +324,8 @@ func (a *ADA) Step(u Timeunit) (*StepState, error) {
 }
 
 // StepDense implements Engine.
+//
+//tiresias:hotpath
 func (a *ADA) StepDense(u *DenseUnit) (*StepState, error) {
 	if !a.inited {
 		return nil, errState
@@ -336,11 +336,13 @@ func (a *ADA) StepDense(u *DenseUnit) (*StepState, error) {
 // stepDense is the flat per-instance core. Every traversal is a loop
 // over the tree's CSR ID orders; in the steady state (no tree growth,
 // no membership change) it allocates nothing.
+//
+//tiresias:hotpath
 func (a *ADA) stepDense(u *DenseUnit) (*StepState, error) {
 	a.instance++
 
 	// --- Initialization stage (lines 6-12). ---
-	start := time.Now()
+	start := now()
 	a.grow()
 	csr := a.tree.CSR()
 	childOff, childIDs := csr.ChildOff, csr.ChildIDs
@@ -371,10 +373,10 @@ func (a *ADA) stepDense(u *DenseUnit) (*StepState, error) {
 		a.rawA[id], a.weight[id] = aw, w
 		a.ishh[id] = w >= theta
 	}
-	tUpdate := time.Since(start)
+	tUpdate := now().Sub(start)
 
 	// --- SHHH and time-series adaptation (lines 13-25). ---
-	start = time.Now()
+	start = now()
 	// Mark ancestors of newly heavy nodes for splitting (lines 13-17).
 	for _, id32 := range csr.BottomUp {
 		id := int(id32)
@@ -441,16 +443,16 @@ func (a *ADA) stepDense(u *DenseUnit) (*StepState, error) {
 		a.cumA[id] += v
 		a.ewmaA[id] = alpha*v + (1-alpha)*a.ewmaA[id]
 	}
-	tSeries := time.Since(start)
+	tSeries := now().Sub(start)
 
 	// --- Detection stage: forecasts were produced incrementally;
 	// assembling the snapshot is the remaining work. ---
-	start = time.Now()
+	start = now()
 	st := a.snapshot()
 	st.Timings = StageTimings{
 		UpdatingHierarchies: tUpdate,
 		CreatingTimeSeries:  tSeries,
-		DetectingAnomalies:  time.Since(start),
+		DetectingAnomalies:  now().Sub(start),
 	}
 	return st, nil
 }

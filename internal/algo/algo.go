@@ -16,6 +16,7 @@ package algo
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"tiresias/internal/forecast"
@@ -57,7 +58,7 @@ func (r SplitRule) String() string {
 	case EWMARule:
 		return "EWMA"
 	default:
-		return fmt.Sprintf("SplitRule(%d)", int(r))
+		return "SplitRule(" + strconv.Itoa(int(r)) + ")"
 	}
 }
 

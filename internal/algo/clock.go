@@ -1,0 +1,11 @@
+package algo
+
+import "time"
+
+// now is the engines' only wall-clock read, feeding the StageTimings
+// diagnostics (never detection decisions — those must stay a pure
+// function of the inputs so replays and checkpoint restores are
+// bit-exact). Funneling the clock through one audited variable keeps
+// the rest of the package clean under the forbidimport lint and gives
+// tests a stub point.
+var now = time.Now //tiresias:ignore forbidimport (single audited clock read for stage timings)

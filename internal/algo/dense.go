@@ -22,6 +22,8 @@ type DenseUnit struct {
 }
 
 // Add accumulates v onto the node with the given dense ID.
+//
+//tiresias:hotpath
 func (u *DenseUnit) Add(id int, v float64) {
 	if id >= len(u.pos) {
 		u.growPos(id + 1)
@@ -47,6 +49,8 @@ func (u *DenseUnit) growPos(n int) {
 }
 
 // ValueAt returns the direct count of the node, 0 when untouched.
+//
+//tiresias:hotpath
 func (u *DenseUnit) ValueAt(id int) float64 {
 	if id >= len(u.pos) {
 		return 0

@@ -2,7 +2,6 @@ package algo
 
 import (
 	"errors"
-	"time"
 
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/shhh"
@@ -130,15 +129,15 @@ func (s *STA) ingest(u Timeunit) {
 func (s *STA) process() (*StepState, error) {
 	newest := s.window[len(s.window)-1]
 
-	start := time.Now()
+	start := now()
 	s.res = shhh.ComputeInto(s.tree, newest, s.cfg.Theta, s.res)
 	res := s.res
-	tUpdate := time.Since(start)
+	tUpdate := now().Sub(start)
 
 	// Reconstruct T[n, i] for each heavy hitter across the window,
 	// one frozen bottom-up traversal per timeunit (the STA
 	// bottleneck the paper measures in Table III).
-	start = time.Now()
+	start = now()
 	s.recycleLast()
 	hhs := res.Set
 	seriesOf := make(map[int][]float64, len(hhs))
@@ -151,11 +150,11 @@ func (s *STA) process() (*StepState, error) {
 			seriesOf[n.ID] = append(seriesOf[n.ID], s.wScratch[n.ID])
 		}
 	}
-	tSeries := time.Since(start)
+	tSeries := now().Sub(start)
 
 	// Refit the forecasting model per heavy hitter and forecast the
 	// newest timeunit from the preceding history.
-	start = time.Now()
+	start = now()
 	state := &s.snap
 	state.Instance = s.instance
 	state.HeavyHitters = state.HeavyHitters[:0]
@@ -184,7 +183,7 @@ func (s *STA) process() (*StepState, error) {
 	state.Timings = StageTimings{
 		UpdatingHierarchies: tUpdate,
 		CreatingTimeSeries:  tSeries,
-		DetectingAnomalies:  time.Since(start),
+		DetectingAnomalies:  now().Sub(start),
 	}
 	return state, nil
 }

@@ -1,0 +1,191 @@
+// Package analysis is the home of tiresias-vet: a small, dependency-
+// free static-analysis framework (mirroring the shape of
+// golang.org/x/tools/go/analysis, which this module deliberately does
+// not depend on) plus the repo-specific analyzers that turn the
+// codebase's load-bearing runtime invariants into compile-time facts:
+//
+//   - hotpath: functions annotated //tiresias:hotpath must avoid
+//     allocation-prone constructs (the static backstop for the
+//     AllocsPerRun benchmarks).
+//   - lockguard: struct fields documented "guarded by <mu>" may only
+//     be touched while that mutex is held.
+//   - wireerr: the api package's sentinel↔code maps must stay
+//     bidirectionally complete, so errors.Is works across the wire.
+//   - ckptsec: every checkpoint section tag must be handled by both
+//     the encoder and the decoder, and changing the tag set demands a
+//     codec version bump.
+//   - forbidimport: hot-path packages must not import or call a
+//     configured denylist (encoding/json, fmt.Sprintf, time.Now).
+//
+// Analyzers run per package over parsed, type-checked syntax. A
+// finding can be suppressed at its line (or the line above) with a
+//
+//	//tiresias:ignore [analyzer ...]
+//
+// comment; with no analyzer names the directive suppresses every
+// analyzer on that line. Suppressions are deliberate, reviewable
+// exemptions — prefer fixing the finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in diagnostics and in
+// //tiresias:ignore directives), a one-paragraph doc, and the per-
+// package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in output and ignore directives.
+	Name string
+	// Doc describes what the analyzer enforces.
+	Doc string
+	// Run analyzes one package, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked syntax to an
+// analyzer's Run function, and collects its diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for Files.
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos is the finding's position in the package's FileSet.
+	Pos token.Pos
+	// Position is Pos resolved to file/line/column.
+	Position token.Position
+	// Message describes the violated invariant.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "//tiresias:ignore"
+
+// ignores maps "file:line" to the set of suppressed analyzer names
+// ("*" suppresses all).
+type ignores map[string]map[string]bool
+
+// collectIgnores scans every comment of every file for
+// //tiresias:ignore directives. A directive suppresses matching
+// diagnostics on its own line and on the line directly below it (so
+// it can trail the flagged statement or sit on its own line above).
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignores {
+	ig := ignores{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				// Reject lookalikes such as //tiresias:ignorexyz.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				names := strings.Fields(text)
+				// Strip a trailing justification: everything after the
+				// analyzer names, conventionally in parentheses.
+				for i, n := range names {
+					if strings.HasPrefix(n, "(") {
+						names = names[:i]
+						break
+					}
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					set := ig[key]
+					if set == nil {
+						set = map[string]bool{}
+						ig[key] = set
+					}
+					if len(names) == 0 {
+						set["*"] = true
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// suppressed reports whether d is covered by an ignore directive.
+func (ig ignores) suppressed(d Diagnostic) bool {
+	set := ig[fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)]
+	return set != nil && (set["*"] || set[d.Analyzer])
+}
+
+// RunAnalyzers applies the given analyzers to one loaded package,
+// returning the surviving (non-suppressed) findings sorted by
+// position. Analyzer run errors (not findings) are returned as an
+// error.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ig := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !ig.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

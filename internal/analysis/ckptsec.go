@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Ckptsec keeps the checkpoint codec's section handling closed over
+// its tag set. It activates on any package declaring two or more
+// 4-byte string constants named tag... (in this repo,
+// internal/checkpoint) and enforces:
+//
+//   - Every tag constant is referenced by the encoder (the function
+//     that calls writeSection — Write) AND by the decoder (the
+//     function that calls readSection — Read). A tag written but
+//     never dispatched on decode would be silently skipped as an
+//     unknown section; a tag decoded but never written is dead
+//     protocol surface.
+//   - The package records the tag set's fingerprint in a
+//     tagSetFingerprint constant (FNV-1a of the sorted tag bytes).
+//     When the tag set changes, the stale fingerprint forces whoever
+//     changed it to revisit this invariant — and, per the codec's
+//     compatibility policy, to decide whether the change needs a
+//     Version bump (removing or repurposing a tag always does; adding
+//     a skippable tag does not, but the decision must be explicit).
+var Ckptsec = &Analyzer{
+	Name: "ckptsec",
+	Doc:  "check that every checkpoint section tag is handled by both encoder and decoder, and that tag-set changes are acknowledged",
+	Run:  runCkptsec,
+}
+
+// fingerprintConst is the constant Ckptsec checks the tag-set hash
+// against.
+const fingerprintConst = "tagSetFingerprint"
+
+func runCkptsec(pass *Pass) error {
+	tags := map[*types.Const]*ast.Ident{} // tag const → declaring ident
+	var fingerprint *types.Const
+	var fingerprintPos *ast.Ident
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					if name.Name == fingerprintConst {
+						fingerprint = c
+						fingerprintPos = name
+						continue
+					}
+					if strings.HasPrefix(name.Name, "tag") && len(constant.StringVal(c.Val())) == 4 {
+						tags[c] = name
+					}
+				}
+			}
+		}
+	}
+	if len(tags) < 2 {
+		return nil // not a section codec package
+	}
+
+	encoder := findCaller(pass, "writeSection")
+	decoder := findCaller(pass, "readSection")
+	if encoder == nil || decoder == nil {
+		pass.Reportf(pass.Files[0].Pos(),
+			"package declares section tags but no %s function was found",
+			map[bool]string{true: "writeSection-calling encoder", false: "readSection-calling decoder"}[encoder == nil])
+		return nil
+	}
+
+	encUses := constUses(pass, encoder)
+	decUses := constUses(pass, decoder)
+	for c, ident := range tags {
+		if !encUses[c] {
+			pass.Reportf(ident.Pos(),
+				"section tag %s (%s) is never written by the encoder %s: add the section to the encode path or delete the tag",
+				ident.Name, constant.StringVal(c.Val()), encoder.Name.Name)
+		}
+		if !decUses[c] {
+			pass.Reportf(ident.Pos(),
+				"section tag %s (%s) is not handled by the decoder %s: a checkpoint carrying it would be silently skipped as an unknown section",
+				ident.Name, constant.StringVal(c.Val()), decoder.Name.Name)
+		}
+	}
+
+	want := TagSetFingerprint(tagValues(tags))
+	switch {
+	case fingerprint == nil:
+		pass.Reportf(pass.Files[0].Pos(),
+			"package declares section tags but no %s constant: add `const %s = %q`",
+			fingerprintConst, fingerprintConst, want)
+	case constant.StringVal(fingerprint.Val()) != want:
+		pass.Reportf(fingerprintPos.Pos(),
+			"checkpoint section tag set changed (fingerprint %s, recorded %s): audit the encode and decode switches, decide whether the change needs a Version bump (removing or repurposing a tag always does), then update %s to %q",
+			want, constant.StringVal(fingerprint.Val()), fingerprintConst, want)
+	}
+	return nil
+}
+
+// TagSetFingerprint computes the canonical FNV-1a fingerprint of a
+// section tag set: the sorted tag strings joined by '|'. Exported so
+// the checkpoint package's tests can assert the recorded constant
+// without copying the formula.
+func TagSetFingerprint(tags []string) string {
+	sorted := append([]string(nil), tags...)
+	sort.Strings(sorted)
+	h := fnv.New32a()
+	for i, t := range sorted {
+		if i > 0 {
+			h.Write([]byte{'|'})
+		}
+		h.Write([]byte(t))
+	}
+	return fmt.Sprintf("fnv1a:%08x", h.Sum32())
+}
+
+func tagValues(tags map[*types.Const]*ast.Ident) []string {
+	out := make([]string, 0, len(tags))
+	for c := range tags {
+		out = append(out, constant.StringVal(c.Val()))
+	}
+	return out
+}
+
+// findCaller returns the first function declaration whose body calls
+// a function named callee.
+func findCaller(pass *Pass, callee string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == callee {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// constUses collects which constants a function body references.
+func constUses(pass *Pass, fd *ast.FuncDecl) map[*types.Const]bool {
+	out := map[*types.Const]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				out[c] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose steady state must not
+// allocate; see Hotpath.
+const hotpathDirective = "//tiresias:hotpath"
+
+// Hotpath flags allocation-prone constructs inside functions annotated
+// //tiresias:hotpath (the directive goes at the end of the function's
+// doc comment). It is the static backstop for the AllocsPerRun
+// benchmarks: the benchmarks prove today's binary does not allocate,
+// the analyzer stops tomorrow's refactor from reintroducing an
+// allocation the benchmark corpus happens to miss.
+//
+// Flagged constructs: calls into fmt; string concatenation;
+// string↔[]byte/[]rune conversions; map/slice composite literals and
+// &T{...} literals; make and new; closures (func literals); append to
+// a local slice that was never given capacity; and implicit interface
+// boxing of a concrete value at a call site. Value-type struct
+// literals are allowed (they stay on the stack), as is append to
+// fields, parameters, and locals that reuse backing arrays
+// (x = x[:0], make with capacity).
+//
+// The check is intraprocedural by design: annotate each function on
+// the hot path rather than relying on propagation through calls.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocation-prone constructs in //tiresias:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether the comment group contains the given
+// directive comment (exactly, modulo trailing text after a space).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one annotated function body.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	reusable := reusableSlices(pass, fd)
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "hot path %s: closure literal (captured variables escape to the heap)", name)
+			return false // the closure body is not the hot path
+		case *ast.CompositeLit:
+			checkHotComposite(pass, name, x)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "hot path %s: &composite literal allocates", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(pass, x.X) {
+				pass.Reportf(x.Pos(), "hot path %s: string concatenation allocates", name)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(pass, x.Lhs[0]) {
+				pass.Reportf(x.Pos(), "hot path %s: string concatenation allocates", name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, x, reusable)
+		}
+		return true
+	})
+}
+
+// checkHotComposite flags heap-allocating composite literals: maps and
+// slices. Plain value-type struct literals are stack-friendly and
+// allowed; &T{...} is caught by the UnaryExpr case.
+func checkHotComposite(pass *Pass, fn string, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "hot path %s: map literal allocates", fn)
+	case *types.Slice:
+		if len(lit.Elts) > 0 {
+			pass.Reportf(lit.Pos(), "hot path %s: slice literal allocates", fn)
+		}
+	}
+}
+
+// checkHotCall flags fmt calls, make/new, string conversions,
+// un-preallocated appends, and interface boxing at call sites.
+func checkHotCall(pass *Pass, fn string, call *ast.CallExpr, reusable map[types.Object]bool) {
+	switch funExpr := call.Fun.(type) {
+	case *ast.Ident:
+		switch funExpr.Name {
+		case "make":
+			if isBuiltin(pass, funExpr) {
+				pass.Reportf(call.Pos(), "hot path %s: make allocates", fn)
+				return
+			}
+		case "new":
+			if isBuiltin(pass, funExpr) {
+				pass.Reportf(call.Pos(), "hot path %s: new allocates", fn)
+				return
+			}
+		case "append":
+			if isBuiltin(pass, funExpr) {
+				checkHotAppend(pass, fn, call, reusable)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[funExpr.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path %s: fmt.%s allocates (formatting state and boxed operands)", fn, funExpr.Sel.Name)
+			return
+		}
+	}
+
+	// Conversions: string([]byte), []byte(string), []rune(string),
+	// string(rune-slice) all copy into a fresh allocation.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.TypesInfo.Types[call.Args[0]].Type
+		if isStringByteConversion(to, from) {
+			pass.Reportf(call.Pos(), "hot path %s: string conversion allocates", fn)
+		}
+		return
+	}
+
+	checkHotBoxing(pass, fn, call)
+}
+
+// checkHotAppend allows append when the destination slice reuses a
+// backing array: a struct field, a parameter, or a local that is
+// somewhere re-sliced to zero length or made with capacity. A plain
+// `var s []T` local that is appended to grows on the heap every call.
+func checkHotAppend(pass *Pass, fn string, call *ast.CallExpr, reusable map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := call.Args[0].(type) {
+	case *ast.SelectorExpr:
+		return // field access: pooled/reused by convention
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[dst]
+		if obj == nil || reusable[obj] {
+			return
+		}
+		pass.Reportf(call.Pos(), "hot path %s: append to %s, which is never preallocated (use a reused buffer or make with capacity)", fn, dst.Name)
+	}
+}
+
+// reusableSlices collects the slice objects append may target without
+// a diagnostic: parameters, named results, and locals that are
+// visibly given a reusable backing array (x = x[:0], x = make(T, n,
+// c), x = x[:k]) anywhere in the function.
+func reusableSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	ok := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			ok[obj] = true
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				mark(n)
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, n := range f.Names {
+				mark(n)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.SliceExpr:
+				// x = y[:...] re-slices an existing backing array.
+				markUse(pass, ok, id)
+			case *ast.CallExpr:
+				if fun, isId := rhs.Fun.(*ast.Ident); isId && fun.Name == "make" && isBuiltin(pass, fun) && len(rhs.Args) == 3 {
+					// make with explicit capacity: a deliberate
+					// preallocation the appends then fill.
+					markUse(pass, ok, id)
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// markUse records the object behind id whether the identifier defines
+// it (:=) or uses it (=).
+func markUse(pass *Pass, set map[types.Object]bool, id *ast.Ident) {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		set[obj] = true
+	} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		set[obj] = true
+	}
+}
+
+// checkHotBoxing flags concrete values passed where the callee takes
+// an interface: the conversion boxes the value on the heap (small
+// pre-boxed values excepted, which the analyzer cannot prove — hence
+// the finding).
+func checkHotBoxing(pass *Pass, fn string, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice itself
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.Type == nil || types.IsInterface(at.Type) || at.IsNil() || at.Value != nil {
+			continue // already boxed, nil, or a constant the compiler can intern
+		}
+		pass.Reportf(arg.Pos(), "hot path %s: argument boxes %s into interface %s", fn, at.Type, pt)
+	}
+}
+
+// isBuiltin reports whether id resolves to a universe-scope builtin.
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isStringType reports whether e's static type is a string.
+func isStringType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConversion reports whether a conversion between to and
+// from crosses the string/byte-slice boundary (which copies).
+func isStringByteConversion(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Lockguard enforces the repo's documented locking discipline: a
+// struct field whose doc or trailing comment says "guarded by <mu>"
+// (where <mu> names a sync.Mutex or sync.RWMutex field of the same
+// struct) may only be accessed in a function that
+//
+//   - takes the lock on the same receiver/base expression before the
+//     access (base.mu.Lock() or base.mu.RLock(), with no intervening
+//     non-deferred Unlock), or
+//   - is itself documented to require the lock ("... must be held"),
+//     delegating the obligation to its callers.
+//
+// The lock analysis is positional, not path-sensitive: Lock before
+// the access with any matching non-deferred Unlock only after it. That
+// is exactly the shape of every legitimate critical section in this
+// codebase (lock → touch → unlock, or lock → defer unlock), and it
+// correctly rejects the classic bug the deferred-unlock test pins
+// down: mu.Lock(); mu.Unlock(); touch.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  `check that fields documented "guarded by <mu>" are only accessed with the mutex held`,
+	Run:  runLockguard,
+}
+
+// guardedRe extracts the mutex field name from a field comment.
+var guardedRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// heldDocRe matches function docs that declare a lock-held
+// precondition, e.g. "The shard lock must be held." or "The caller
+// holds mu."
+var heldDocRe = regexp.MustCompile(`(?i)(lock )?must be held|caller (must )?holds?`)
+
+// guardedField records the guard relation for one struct field.
+type guardedField struct {
+	mutex string // name of the mutex field in the same struct
+}
+
+func runLockguard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && heldDocRe.MatchString(fd.Doc.Text()) {
+				continue // documented lock-held precondition
+			}
+			checkLockFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards scans the package's struct declarations for fields
+// annotated "guarded by <mu>", keyed by the field's types.Object.
+func collectGuards(pass *Pass) map[types.Object]guardedField {
+	guards := map[types.Object]guardedField{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					guards[obj] = guardedField{mutex: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName extracts the mutex name from a field's doc or trailing
+// comment ("" when the field is not annotated).
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call on a specific base
+// expression within a function body.
+type lockEvent struct {
+	base     string // printed base expression, e.g. "sh" in sh.mu.Lock()
+	mutex    string // mutex field name, e.g. "mu"
+	pos      token.Pos
+	acquire  bool // Lock/RLock
+	deferred bool
+}
+
+// checkLockFunc verifies every guarded-field access in one function.
+func checkLockFunc(pass *Pass, fd *ast.FuncDecl, guards map[types.Object]guardedField) {
+	events := collectLockEvents(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			return true
+		}
+		g, guarded := guards[selInfo.Obj()]
+		if !guarded {
+			return true
+		}
+		base := exprString(sel.X)
+		if base == "" || !lockHeldAt(events, base, g.mutex, sel.Pos()) {
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s.%s, which is not held here (lock it, or document the function's lock-held precondition)",
+				base, sel.Sel.Name, base, g.mutex)
+		}
+		return true
+	})
+}
+
+// collectLockEvents gathers mutex operations in the function body.
+func collectLockEvents(pass *Pass, fd *ast.FuncDecl) []lockEvent {
+	var events []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok && !deferred {
+				walk(ds.Call, true)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var acquire bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				acquire = true
+			case "Unlock", "RUnlock":
+			default:
+				return true
+			}
+			// The receiver must itself be a selector base.mu.
+			muSel, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			events = append(events, lockEvent{
+				base:     exprString(muSel.X),
+				mutex:    muSel.Sel.Name,
+				pos:      call.Pos(),
+				acquire:  acquire,
+				deferred: deferred,
+			})
+			return true
+		})
+	}
+	walk(fd.Body, false)
+	return events
+}
+
+// lockHeldAt reports whether some acquisition of base.mutex precedes
+// pos without a non-deferred release in between.
+func lockHeldAt(events []lockEvent, base, mutex string, pos token.Pos) bool {
+	held := false
+	for _, e := range events {
+		if e.base != base || e.mutex != mutex || e.pos >= pos {
+			continue
+		}
+		if e.acquire {
+			held = true
+		} else if !e.deferred {
+			held = false
+		}
+	}
+	return held
+}
+
+// exprString renders simple base expressions (identifiers, selector
+// chains, index expressions) for matching and diagnostics; other
+// shapes render as "" and are treated as unmatched.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if b := exprString(x.X); b != "" {
+			return b + "." + x.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if b := exprString(x.X); b != "" {
+			return b + "[" + exprString(x.Index) + "]"
+		}
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return ""
+}

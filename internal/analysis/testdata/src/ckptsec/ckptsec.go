@@ -1,0 +1,29 @@
+// Package ckptsec is a tiresias-vet fixture exercising the ckptsec
+// analyzer: a tag missing from the decode switch fires, and a stale
+// tag-set fingerprint demands an explicit acknowledgement.
+package ckptsec
+
+const (
+	tagAAA = "aaaa"
+	tagBBB = "bbbb"
+	tagCCC = "cccc" // want `not handled by the decoder`
+)
+
+const tagSetFingerprint = "fnv1a:00000000" // want `tag set changed`
+
+func writeSection(tag string) {}
+
+func readSection() string { return "" }
+
+func encode() {
+	writeSection(tagAAA)
+	writeSection(tagBBB)
+	writeSection(tagCCC)
+}
+
+func decode() {
+	switch readSection() {
+	case tagAAA:
+	case tagBBB:
+	}
+}

@@ -1,0 +1,19 @@
+// Package forbidfix is a tiresias-vet fixture exercising the
+// forbidimport analyzer under a rule that bans encoding/json,
+// fmt.Sprintf, and time.Now from this package.
+package forbidfix
+
+import (
+	"encoding/json" // want `import "encoding/json" is banned`
+	"fmt"
+	"time"
+)
+
+var _ = json.Valid
+
+func use() (string, time.Time) {
+	s := fmt.Sprintf("x%d", 1) // want `fmt\.Sprintf is banned`
+	t := time.Now()            // want `time\.Now is banned`
+	fmt.Println(s)             // fmt.Println is not on the denylist
+	return s, t
+}

@@ -1,0 +1,71 @@
+// Package hotpath is a tiresias-vet fixture exercising the hotpath
+// analyzer: every allocation-prone construct fires, every sanctioned
+// reuse pattern stays silent.
+package hotpath
+
+import "fmt"
+
+type buf struct {
+	scratch []int
+}
+
+func sink(v interface{}) {}
+
+// hot exercises the flagged constructs.
+//
+//tiresias:hotpath
+func hot(b *buf, s string, dst []int) []int {
+	f := func() {} // want `closure literal`
+	f()
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates`
+	_ = sl
+	p := &buf{} // want `&composite literal allocates`
+	_ = p
+	s2 := s + "!" // want `string concatenation allocates`
+	s2 += "!"     // want `string concatenation allocates`
+	_ = s2
+	fmt.Println(s)  // want `fmt\.Println allocates`
+	bs := []byte(s) // want `string conversion allocates`
+	_ = bs
+	np := new(buf) // want `new allocates`
+	_ = np
+	var acc []int
+	acc = append(acc, 1) // want `append to acc`
+	_ = acc
+
+	// Sanctioned patterns: value struct literal, empty slice literal,
+	// append to a field, a parameter, or a visibly preallocated local.
+	v := buf{}
+	_ = v
+	empty := []int{}
+	_ = empty
+	b.scratch = append(b.scratch, 1)
+	dst = append(dst, 2)
+	q := make([]int, 0, 8) // want `make allocates`
+	q = append(q, 3)
+	tmp := dst[:0]
+	tmp = append(tmp, 4)
+	return tmp
+}
+
+// hotBox pins the interface-boxing diagnostic.
+//
+//tiresias:hotpath
+func hotBox(x int) {
+	sink(x) // want `boxes int into interface`
+}
+
+// hotIgnored pins the suppression directive: the allocation below
+// must not be reported.
+//
+//tiresias:hotpath
+func hotIgnored() *buf {
+	return &buf{} //tiresias:ignore hotpath (fixture: pinning the suppression path)
+}
+
+// cold is unannotated: nothing in it is reported.
+func cold() *buf {
+	return &buf{scratch: make([]int, 0, 4)}
+}

@@ -1,0 +1,46 @@
+// Package wireerr is a tiresias-vet fixture exercising the wireerr
+// analyzer: an unmapped sentinel, a forward mapping with no inverse,
+// and an inverse mapping with no forward case all fire.
+package wireerr
+
+import "errors"
+
+var (
+	// ErrAlpha round-trips cleanly.
+	ErrAlpha = errors.New("alpha")
+	// ErrBeta has a CodeFor case but no sentinelFor inverse.
+	ErrBeta = errors.New("beta")
+	// ErrGamma has no CodeFor case at all.
+	ErrGamma = errors.New("gamma")
+)
+
+const (
+	// CodeAlpha round-trips cleanly.
+	CodeAlpha = "alpha"
+	// CodeBeta is produced by CodeFor but never decoded.
+	CodeBeta = "beta"
+	// CodeOrphan decodes to a sentinel that encodes differently.
+	CodeOrphan = "orphan"
+)
+
+func CodeFor(err error, fallback string) string { // want `CodeFor has no case for sentinel wireerr\.ErrGamma` `CodeFor maps ErrBeta to CodeBeta, but sentinelFor has no case for CodeBeta`
+	switch {
+	case errors.Is(err, ErrAlpha):
+		return CodeAlpha
+	case errors.Is(err, ErrBeta):
+		return CodeBeta
+	default:
+		return fallback
+	}
+}
+
+func sentinelFor(code string) error { // want `sentinelFor maps CodeOrphan to ErrAlpha, but CodeFor does not map ErrAlpha back to CodeOrphan`
+	switch code {
+	case CodeAlpha:
+		return ErrAlpha
+	case CodeOrphan:
+		return ErrAlpha
+	default:
+		return nil
+	}
+}

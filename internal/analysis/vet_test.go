@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tiresias/internal/analysis"
+	"tiresias/internal/analysis/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "hotpath", analysis.Hotpath)
+}
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "lockguard", analysis.Lockguard)
+}
+
+func TestWireerr(t *testing.T) {
+	analysistest.Run(t, "wireerr", analysis.Wireerr)
+}
+
+func TestCkptsec(t *testing.T) {
+	analysistest.Run(t, "ckptsec", analysis.Ckptsec)
+}
+
+func TestForbidImport(t *testing.T) {
+	rules := []analysis.ForbidRule{{
+		Packages: []string{"forbidfix"},
+		Imports:  []string{"encoding/json"},
+		Calls:    []string{"fmt.Sprintf", "time.Now"},
+	}}
+	analysistest.Run(t, "forbidfix", analysis.NewForbidImport(rules))
+}
+
+func TestTagSetFingerprintCanonical(t *testing.T) {
+	// The formula is order-insensitive and position-sensitive: the
+	// ckptsec analyzer and the checkpoint package's recorded constant
+	// both depend on that.
+	a := analysis.TagSetFingerprint([]string{"bbbb", "aaaa"})
+	b := analysis.TagSetFingerprint([]string{"aaaa", "bbbb"})
+	if a != b {
+		t.Errorf("fingerprint is order-sensitive: %q != %q", a, b)
+	}
+	if c := analysis.TagSetFingerprint([]string{"aaab", "bbb"}); c == a {
+		t.Errorf("distinct tag sets collide: %q", c)
+	}
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Wireerr keeps the wire error contract bidirectionally complete. It
+// activates on any package that defines both a CodeFor function (the
+// sentinel → wire-code map, a switch over errors.Is cases) and a
+// sentinelFor function (the wire-code → sentinel inverse, a switch
+// over code constants) — in this repo, the api package. It enforces:
+//
+//   - Forward totality: every exported sentinel error (an exported
+//     error-typed var named Err...) of every package the maps draw
+//     sentinels from must have a CodeFor case. A new root sentinel
+//     without a wire code would silently degrade to the fallback code
+//     and break errors.Is on the client side.
+//   - Round-trip: for every CodeFor case errors.Is(err, S) → C,
+//     sentinelFor(C) must return S; and for every sentinelFor case
+//     C → S, CodeFor must map S back to C. A one-directional entry
+//     means an error that crosses the wire comes back as a different
+//     error.
+//
+// Codes without a sentinel (pure wire-level conditions such as
+// bad_request) trivially round-trip and are not flagged.
+var Wireerr = &Analyzer{
+	Name: "wireerr",
+	Doc:  "check that sentinel errors and wire codes map bidirectionally (errors.Is must survive the wire)",
+	Run:  runWireerr,
+}
+
+func runWireerr(pass *Pass) error {
+	var codeForFn, sentinelForFn *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "CodeFor":
+				codeForFn = fd
+			case "sentinelFor":
+				sentinelForFn = fd
+			}
+		}
+	}
+	if codeForFn == nil || sentinelForFn == nil {
+		return nil // not an error-contract package
+	}
+
+	forward := codeForCases(pass, codeForFn)          // sentinel var → code const
+	backward := sentinelForCases(pass, sentinelForFn) // code const → sentinel var
+
+	// Forward totality over every package sentinels are drawn from
+	// (including this package itself, for self-contained fixtures).
+	srcPkgs := map[*types.Package]bool{}
+	for s := range forward {
+		if s.Pkg() != nil {
+			srcPkgs[s.Pkg()] = true
+		}
+	}
+	for _, s := range backward {
+		if s.Pkg() != nil {
+			srcPkgs[s.Pkg()] = true
+		}
+	}
+	for pkg := range srcPkgs {
+		for _, name := range pkg.Scope().Names() {
+			obj := pkg.Scope().Lookup(name)
+			v, ok := obj.(*types.Var)
+			if !ok || !v.Exported() || !strings.HasPrefix(name, "Err") || !isErrorType(v.Type()) {
+				continue
+			}
+			if _, mapped := forward[v]; !mapped {
+				pass.Reportf(codeForFn.Pos(),
+					"CodeFor has no case for sentinel %s.%s: it would cross the wire as the fallback code and errors.Is(%s.%s) would fail on the client side",
+					pkg.Name(), name, pkg.Name(), name)
+			}
+		}
+	}
+
+	// Round-trip both directions.
+	for sentinel, code := range forward {
+		back, ok := backward[code]
+		if !ok {
+			pass.Reportf(codeForFn.Pos(),
+				"CodeFor maps %s to %s, but sentinelFor has no case for %s: the code does not round-trip back to the sentinel",
+				sentinel.Name(), code.Name(), code.Name())
+			continue
+		}
+		if back != sentinel {
+			pass.Reportf(codeForFn.Pos(),
+				"round-trip mismatch: CodeFor maps %s to %s, but sentinelFor(%s) returns %s",
+				sentinel.Name(), code.Name(), code.Name(), back.Name())
+		}
+	}
+	for code, sentinel := range backward {
+		if fwd, ok := forward[sentinel]; !ok || fwd != code {
+			pass.Reportf(sentinelForFn.Pos(),
+				"sentinelFor maps %s to %s, but CodeFor does not map %s back to %s: an error decoded from this code re-encodes differently",
+				code.Name(), sentinel.Name(), sentinel.Name(), code.Name())
+		}
+	}
+	return nil
+}
+
+// codeForCases extracts sentinel → code pairs from CodeFor's switch:
+// each `case errors.Is(err, SENTINEL): return CODE` clause.
+func codeForCases(pass *Pass, fd *ast.FuncDecl) map[*types.Var]*types.Const {
+	out := map[*types.Var]*types.Const{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		code := returnedConst(pass, cc.Body)
+		if code == nil {
+			return true
+		}
+		for _, cond := range cc.List {
+			call, ok := cond.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			if !isErrorsIs(pass, call.Fun) {
+				continue
+			}
+			if v := varOf(pass, call.Args[1]); v != nil {
+				out[v] = code
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sentinelForCases extracts code → sentinel pairs from sentinelFor's
+// switch: each `case CODE: return SENTINEL` clause.
+func sentinelForCases(pass *Pass, fd *ast.FuncDecl) map[*types.Const]*types.Var {
+	out := map[*types.Const]*types.Var{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		var sentinel *types.Var
+		for _, stmt := range cc.Body {
+			ret, ok := stmt.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			sentinel = varOf(pass, ret.Results[0])
+		}
+		if sentinel == nil {
+			return true
+		}
+		for _, cond := range cc.List {
+			if c := constOf(pass, cond); c != nil {
+				out[c] = sentinel
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnedConst extracts the single constant returned by a case body
+// (nil when the body does not return one named string constant).
+func returnedConst(pass *Pass, body []ast.Stmt) *types.Const {
+	for _, stmt := range body {
+		ret, ok := stmt.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		return constOf(pass, ret.Results[0])
+	}
+	return nil
+}
+
+// varOf resolves an expression (identifier or pkg.Sel) to a *types.Var.
+func varOf(pass *Pass, e ast.Expr) *types.Var {
+	if id := identOf(e); id != nil {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// constOf resolves an expression to a named string constant.
+func constOf(pass *Pass, e ast.Expr) *types.Const {
+	if id := identOf(e); id != nil {
+		if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && c.Val().Kind() == constant.String {
+			return c
+		}
+	}
+	return nil
+}
+
+// identOf unwraps an identifier or the Sel of a selector expression.
+func identOf(e ast.Expr) *ast.Ident {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// isErrorsIs reports whether fun resolves to errors.Is.
+func isErrorsIs(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "errors"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

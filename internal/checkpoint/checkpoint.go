@@ -57,6 +57,14 @@ const (
 	tagEnd      = "END."
 )
 
+// tagSetFingerprint records the FNV-1a fingerprint of the sorted
+// section tag set. The ckptsec analyzer (tiresias-vet) recomputes it
+// and fails the build when the tag set changes without this constant
+// — and therefore this comment — being revisited: adding a
+// forward-skippable section keeps Version, while removing or
+// repurposing a tag requires a Version bump.
+const tagSetFingerprint = "fnv1a:cb88d35f"
+
 // ErrBadCheckpoint is the sentinel wrapped by every decode failure:
 // bad magic, unknown version, truncated input, checksum mismatch, or
 // structurally inconsistent state. Callers test with errors.Is.

@@ -1,0 +1,18 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"tiresias/internal/analysis"
+)
+
+// TestTagSetFingerprint pins the recorded fingerprint to the canonical
+// formula over the live tag set — the same check the ckptsec analyzer
+// performs statically, asserted here so a plain `go test` catches a
+// drifted constant even without running tiresias-vet.
+func TestTagSetFingerprint(t *testing.T) {
+	tags := []string{tagConfig, tagTree, tagDetector, tagEngine, tagStream, tagEnd}
+	if want := analysis.TagSetFingerprint(tags); tagSetFingerprint != want {
+		t.Errorf("tagSetFingerprint = %q, formula over the tag set gives %q: update the constant (and audit the codec Version per the ckptsec policy)", tagSetFingerprint, want)
+	}
+}

@@ -250,6 +250,8 @@ func (t *Tree) InsertKey(k Key) *Node {
 // every component already known — it performs one map lookup per
 // component and allocates nothing, so record ingestion never touches
 // the string Key encoding.
+//
+//tiresias:hotpath
 func (t *Tree) Intern(path []string) int {
 	return t.Insert(path).ID
 }
@@ -257,6 +259,8 @@ func (t *Tree) Intern(path []string) int {
 // CSR returns the flat traversal view of the tree, rebuilding the
 // cached arrays only when the tree has grown since the last call. The
 // returned value is shared and valid until the next insertion.
+//
+//tiresias:hotpath
 func (t *Tree) CSR() *CSR {
 	if t.flatLen != len(t.nodes) {
 		t.rebuildCSR()

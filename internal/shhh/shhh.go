@@ -63,9 +63,11 @@ func Compute(t *hierarchy.Tree, counts Counts, theta float64) *Result {
 // which allocates a fresh Result). Repeated calls with the same Result
 // and a stable tree are allocation-free; the previous contents of r
 // are overwritten.
+//
+//tiresias:hotpath
 func ComputeInto(t *hierarchy.Tree, counts Counts, theta float64, r *Result) *Result {
 	if r == nil {
-		r = &Result{}
+		r = &Result{} //tiresias:ignore hotpath (nil-r convenience path; steady-state callers pass a reused Result)
 	}
 	n := t.Len()
 	r.Theta = theta
@@ -147,6 +149,8 @@ func Aggregate(t *hierarchy.Tree, counts Counts) []float64 {
 
 // AggregateInto is Aggregate writing into dst, reusing its backing
 // array when it is large enough.
+//
+//tiresias:hotpath
 func AggregateInto(t *hierarchy.Tree, counts Counts, dst []float64) []float64 {
 	a := growFloats(dst, t.Len())
 	for k, v := range counts {
@@ -181,6 +185,8 @@ func FrozenWeights(t *hierarchy.Tree, counts Counts, inSet []bool) []float64 {
 // backing array when it is large enough. STA calls this once per
 // retained timeunit per instance, so scratch reuse removes its
 // dominant allocation source.
+//
+//tiresias:hotpath
 func FrozenWeightsInto(t *hierarchy.Tree, counts Counts, inSet []bool, dst []float64) []float64 {
 	w := growFloats(dst, t.Len())
 	for k, v := range counts {

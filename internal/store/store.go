@@ -65,15 +65,18 @@ type Stats struct {
 // order is retention order: when full, each Add evicts the oldest
 // entry. The zero value is not usable; construct with New.
 type Index struct {
-	mu      sync.RWMutex
-	buf     []Entry // grows to cap, then wraps
-	cap     int
-	start   int // position of the oldest entry once wrapped
-	count   int
-	added   uint64
-	evicted uint64
-	seq     uint64
-	epoch   uint64
+	mu  sync.RWMutex
+	buf []Entry // grows to cap, then wraps; guarded by mu
+	cap int     // immutable after New
+
+	start int // position of the oldest entry once wrapped; guarded by mu
+	count int // guarded by mu
+
+	added   uint64 // guarded by mu
+	evicted uint64 // guarded by mu
+	seq     uint64 // guarded by mu
+
+	epoch uint64 // immutable after New
 }
 
 // New returns an empty Index retaining at most capacity entries;
@@ -119,6 +122,7 @@ func (x *Index) Add(stream string, anoms ...detect.Anomaly) []Entry {
 }
 
 // at returns the i-th retained entry, oldest first (0 <= i < count).
+// The lock must be held.
 func (x *Index) at(i int) Entry {
 	return x.buf[(x.start+i)%len(x.buf)]
 }

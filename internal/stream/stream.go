@@ -7,7 +7,11 @@ package stream
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
+
+	// The JSONL source is a cold ingestion-format adapter, not the
+	// per-record hot path (which is CSVish + ObserveDense); the dense
+	// windowing code below never touches encoding/json.
+	"encoding/json" //tiresias:ignore forbidimport (JSONL source parsing is off the hot path)
 	"errors"
 	"fmt"
 	"io"
@@ -391,6 +395,8 @@ func (w *Windower) nextDense() *algo.DenseUnit {
 // into a pooled DenseUnit. The returned units are valid until the next
 // ObserveDense/FlushDense call; in the steady state the call performs
 // zero allocations. BindTree must have been called.
+//
+//tiresias:hotpath
 func (w *Windower) ObserveDense(r Record) ([]*algo.DenseUnit, error) {
 	if w.tree == nil {
 		return nil, errors.New("stream: ObserveDense before BindTree")
@@ -414,6 +420,8 @@ func (w *Windower) ObserveDense(r Record) ([]*algo.DenseUnit, error) {
 // FlushDense completes and returns the current dense timeunit (which
 // may be empty) and resets it. Like ObserveDense's result, the
 // returned unit is valid until the next dense call.
+//
+//tiresias:hotpath
 func (w *Windower) FlushDense() *algo.DenseUnit {
 	w.reclaimDense()
 	u := w.dcur

@@ -42,18 +42,21 @@ type Manager struct {
 }
 
 type managerShard struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+
+	// streams holds the shard's live detectors, guarded by mu.
 	streams map[string]*managedStream
 
 	// dropped tombstones stream names removed by Drop, so a late
 	// Feed cannot silently respawn a fresh (cold, warmup-restarting)
-	// detector under a retired name; see ErrStreamDropped.
+	// detector under a retired name; see ErrStreamDropped. Guarded
+	// by mu.
 	dropped map[string]struct{}
 
 	// records / anomalies count detection throughput on this shard
-	// across every ingestion path (under mu).
-	records   uint64
-	anomalies uint64
+	// across every ingestion path; both guarded by mu.
+	records   uint64 // guarded by mu
+	anomalies uint64 // guarded by mu
 }
 
 // getOrCreate returns the named stream, creating its detector and
@@ -212,7 +215,7 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 		observer:     o.observer,
 	}
 	for i := range m.shards {
-		m.shards[i].streams = make(map[string]*managedStream)
+		m.shards[i].streams = make(map[string]*managedStream) //tiresias:ignore lockguard (construction before publication; no other goroutine can hold a shard yet)
 	}
 	if o.pipelined {
 		m.pipe = newPipeline(m, o.queueDepth, o.policy)

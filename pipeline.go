@@ -124,11 +124,11 @@ type pipeline struct {
 	shards []pipeShard
 	wg     sync.WaitGroup
 
-	// mu guards closed against in-flight sends: senders hold the
+	// mu protects closed against in-flight sends: senders hold the
 	// read side while touching channels, so Close cannot close a
 	// channel under a concurrent send.
 	mu     sync.RWMutex
-	closed bool
+	closed bool // guarded by mu
 }
 
 func newPipeline(m *Manager, depth int, policy BackpressurePolicy) *pipeline {
