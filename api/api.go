@@ -115,6 +115,50 @@ type StatsResponse struct {
 	Watch WatchStats `json:"watch"`
 	// StoreLen is the persistent dashboard store size.
 	StoreLen int `json:"storeLen"`
+	// Panics counts handler panics the server recovered (each
+	// answered with a structured 500 instead of a dropped
+	// connection).
+	Panics uint64 `json:"panics,omitempty"`
+}
+
+// Health status values of GET /v2/healthz. The endpoint always
+// answers 200 — degraded still means serving; orchestration should
+// key on the Status field, not the HTTP code.
+const (
+	// HealthOK: every stream is serving and no worker error is
+	// latched.
+	HealthOK = "ok"
+	// HealthDegraded: the server is up but partially impaired —
+	// quarantined streams and/or latched pipeline worker errors.
+	HealthDegraded = "degraded"
+)
+
+// QuarantinedStream describes one quarantined stream in a health
+// report.
+type QuarantinedStream struct {
+	// Stream is the quarantined stream's name.
+	Stream string `json:"stream"`
+	// Reason is the panic value that caused the quarantine.
+	Reason string `json:"reason,omitempty"`
+}
+
+// HealthResponse is the GET /v2/healthz payload: overall status plus
+// the specific impairments behind a degraded verdict, so automation
+// can reopen quarantined streams rather than bounce the process.
+type HealthResponse struct {
+	// Status is HealthOK or HealthDegraded.
+	Status string `json:"status"`
+	// Streams is the number of live streams (quarantined included).
+	Streams int `json:"streams"`
+	// Quarantined lists streams refusing records after a contained
+	// panic; absent when none.
+	Quarantined []QuarantinedStream `json:"quarantined,omitempty"`
+	// WorkerErrors are the most recent pipeline worker errors, one
+	// per shard with a latched error; absent when none.
+	WorkerErrors []string `json:"workerErrors,omitempty"`
+	// Panics counts recovered handler panics (informational: it does
+	// not degrade Status on its own).
+	Panics uint64 `json:"panics,omitempty"`
 }
 
 // ServerConfig is the GET /v2/config payload: the effective serving

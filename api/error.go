@@ -29,6 +29,12 @@ const (
 	// CodeStreamDropped maps tiresias.ErrStreamDropped: the target
 	// stream was retired by Drop.
 	CodeStreamDropped = "stream_dropped"
+	// CodeStreamQuarantined maps tiresias.ErrStreamQuarantined: the
+	// target stream was quarantined after a contained panic and
+	// refuses records until it is reopened. Served as 503 — the
+	// condition is server-side and clears when an operator (or
+	// automation) reopens the stream.
+	CodeStreamQuarantined = "stream_quarantined"
 	// CodeQueueFull maps tiresias.ErrQueueFull: the pipeline queue
 	// rejected the batch; retry after the Retry-After delay.
 	CodeQueueFull = "queue_full"
@@ -109,6 +115,8 @@ func CodeFor(err error, fallback string) string {
 		return CodeQueueFull
 	case errors.Is(err, tiresias.ErrPipelineClosed):
 		return CodePipelineClosed
+	case errors.Is(err, tiresias.ErrStreamQuarantined):
+		return CodeStreamQuarantined
 	case errors.Is(err, tiresias.ErrStreamDropped):
 		return CodeStreamDropped
 	case errors.Is(err, tiresias.ErrOutOfOrder):
@@ -138,6 +146,8 @@ func sentinelFor(code string) error {
 		return tiresias.ErrQueueFull
 	case CodePipelineClosed:
 		return tiresias.ErrPipelineClosed
+	case CodeStreamQuarantined:
+		return tiresias.ErrStreamQuarantined
 	case CodeStreamDropped:
 		return tiresias.ErrStreamDropped
 	case CodeOutOfOrder:
@@ -170,7 +180,7 @@ func StatusFor(code string) int {
 		return http.StatusGone
 	case CodeQueueFull:
 		return http.StatusTooManyRequests
-	case CodePipelineClosed:
+	case CodePipelineClosed, CodeStreamQuarantined:
 		return http.StatusServiceUnavailable
 	case CodeUnknownStream, CodeNoCheckpoint:
 		return http.StatusNotFound

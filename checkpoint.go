@@ -11,13 +11,13 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
 	"tiresias/internal/checkpoint"
 	"tiresias/internal/detect"
+	"tiresias/internal/fault"
 	"tiresias/internal/stream"
 )
 
@@ -232,6 +232,11 @@ var ErrNoCheckpoint = errors.New("tiresias: no checkpoint in directory")
 // moves. Concurrent Checkpoint calls on one Manager (a periodic timer
 // racing an on-demand trigger) are serialized internally; two
 // processes must not checkpoint into the same directory.
+//
+// Quarantined streams are excluded: a panic interrupted their
+// in-memory state mid-update, so serializing it would persist
+// corruption — the last committed generation keeps their last good
+// snapshot instead.
 func (m *Manager) Checkpoint(dir string) (int, error) {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
@@ -244,19 +249,20 @@ func (m *Manager) Checkpoint(dir string) (int, error) {
 	if m.pipe != nil {
 		m.pipe.drain()
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := m.fsys
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
-	gen, err := nextGeneration(dir)
+	gen, err := nextGeneration(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	genName := fmt.Sprintf("ckpt-%08d", gen)
 	staging := filepath.Join(dir, "."+genName+".tmp")
-	if err := os.RemoveAll(staging); err != nil {
+	if err := fsys.RemoveAll(staging); err != nil {
 		return 0, err
 	}
-	if err := os.Mkdir(staging, 0o755); err != nil {
+	if err := fsys.Mkdir(staging, 0o755); err != nil {
 		return 0, err
 	}
 	var wg sync.WaitGroup
@@ -266,14 +272,27 @@ func (m *Manager) Checkpoint(dir string) (int, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panic on a checkpoint goroutine (a corrupt detector
+			// state the quarantine latch has not caught yet) must fail
+			// this checkpoint, not kill the process: nothing commits
+			// until every shard succeeded, so the previous generation
+			// stays live.
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("tiresias: checkpoint shard %d: panic: %v", i, p)
+				}
+			}()
 			sh := &m.shards[i]
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
 			seq := 0
 			for name, ms := range sh.streams {
+				if ms.quarantined {
+					continue
+				}
 				path := filepath.Join(staging, fmt.Sprintf("s%04d-%04d%s", i, seq, checkpointExt))
 				seq++
-				if err := writeStreamFile(path, name, ms); err != nil {
+				if err := writeStreamFile(fsys, path, name, ms); err != nil {
 					errs[i] = fmt.Errorf("tiresias: checkpoint stream %q: %w", name, err)
 					return
 				}
@@ -283,7 +302,7 @@ func (m *Manager) Checkpoint(dir string) (int, error) {
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
-		os.RemoveAll(staging)
+		fsys.RemoveAll(staging)
 		return 0, err
 	}
 	total := 0
@@ -291,27 +310,27 @@ func (m *Manager) Checkpoint(dir string) (int, error) {
 		total += n
 	}
 	// Make the staged files durable before any rename references them.
-	if err := syncDir(staging); err != nil {
-		os.RemoveAll(staging)
+	if err := syncDir(fsys, staging); err != nil {
+		fsys.RemoveAll(staging)
 		return 0, err
 	}
 	final := filepath.Join(dir, genName)
-	if err := os.Rename(staging, final); err != nil {
-		os.RemoveAll(staging)
+	if err := fsys.Rename(staging, final); err != nil {
+		fsys.RemoveAll(staging)
 		return 0, err
 	}
 	// The commit point: readers follow CURRENT, which flips atomically
 	// (setCurrent syncs the pointer and the directory).
-	if err := setCurrent(dir, genName); err != nil {
+	if err := setCurrent(fsys, dir, genName); err != nil {
 		return 0, err
 	}
-	return total, pruneGenerations(dir, genName)
+	return total, pruneGenerations(fsys, dir, genName)
 }
 
 // nextGeneration returns one past the highest generation number
 // present in dir.
-func nextGeneration(dir string) (int, error) {
-	entries, err := os.ReadDir(dir)
+func nextGeneration(fsys fault.FS, dir string) (int, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0, err
 	}
@@ -329,13 +348,13 @@ func nextGeneration(dir string) (int, error) {
 // pointer content is synced before the rename and the directory after
 // it, so the flip is durable across power loss, not just process
 // crashes.
-func setCurrent(dir, genName string) error {
+func setCurrent(fsys fault.FS, dir, genName string) error {
 	tmp := filepath.Join(dir, currentFile+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(genName + "\n"); err != nil {
+	if _, err := f.Write([]byte(genName + "\n")); err != nil {
 		f.Close()
 		return err
 	}
@@ -346,15 +365,15 @@ func setCurrent(dir, genName string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // syncDir fsyncs a directory so renames inside it are durable.
-func syncDir(path string) error {
-	d, err := os.Open(path)
+func syncDir(fsys fault.FS, path string) error {
+	d, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}
@@ -369,8 +388,8 @@ func syncDir(path string) error {
 // generation and the CURRENT pointer: older generations, abandoned
 // staging directories, and stream files from the pre-generation flat
 // layout.
-func pruneGenerations(dir, keep string) error {
-	entries, err := os.ReadDir(dir)
+func pruneGenerations(fsys fault.FS, dir, keep string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -385,7 +404,7 @@ func pruneGenerations(dir, keep string) error {
 			strings.HasSuffix(name, checkpointExt) ||
 			name == currentFile+".tmp"
 		if stale {
-			errs = append(errs, os.RemoveAll(filepath.Join(dir, name)))
+			errs = append(errs, fsys.RemoveAll(filepath.Join(dir, name)))
 		}
 	}
 	return errors.Join(errs...)
@@ -394,7 +413,7 @@ func pruneGenerations(dir, keep string) error {
 // writeStreamFile writes one managed stream's checkpoint into the
 // staging directory (whole-directory staging provides the atomicity).
 // The caller holds the stream's shard lock.
-func writeStreamFile(path, name string, ms *managedStream) error {
+func writeStreamFile(fsys fault.FS, path, name string, ms *managedStream) error {
 	snap, err := ms.det.snapshotState()
 	if err != nil {
 		return err
@@ -409,7 +428,7 @@ func writeStreamFile(path, name string, ms *managedStream) error {
 		Units:     ms.units,
 		Anoms:     ms.anoms,
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
@@ -440,11 +459,11 @@ func ManagerFromCheckpoint(dir string, opts ...ManagerOption) (*Manager, error) 
 	if err != nil {
 		return nil, err
 	}
-	src, err := resolveCheckpointDir(dir)
+	src, err := resolveCheckpointDir(m.fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	files, err := filepath.Glob(filepath.Join(src, "*"+checkpointExt))
+	files, err := m.fsys.Glob(filepath.Join(src, "*"+checkpointExt))
 	if err != nil {
 		return nil, err
 	}
@@ -463,8 +482,8 @@ func ManagerFromCheckpoint(dir string, opts ...ManagerOption) (*Manager, error) 
 // generation subdirectory; a directory without one (the
 // pre-generation flat layout, or a generation directory given
 // directly) is used as is.
-func resolveCheckpointDir(dir string) (string, error) {
-	data, err := os.ReadFile(filepath.Join(dir, currentFile))
+func resolveCheckpointDir(fsys fault.FS, dir string) (string, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, currentFile))
 	if errors.Is(err, fs.ErrNotExist) {
 		return dir, nil
 	}
@@ -480,7 +499,7 @@ func resolveCheckpointDir(dir string) (string, error) {
 
 // restoreStream loads one stream checkpoint file into the Manager.
 func (m *Manager) restoreStream(path string) error {
-	f, err := os.Open(path)
+	f, err := m.fsys.Open(path)
 	if err != nil {
 		return err
 	}

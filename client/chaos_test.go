@@ -1,0 +1,171 @@
+package client
+
+// Client-side chaos tests: health introspection across the wire,
+// quarantine sentinels surviving errors.Is through the error envelope,
+// and retry/reconnect behavior under an injected flaky transport.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tiresias"
+	"tiresias/api"
+	"tiresias/httpserve"
+	"tiresias/internal/fault"
+)
+
+// chaosServer boots a server whose every detector panics on its first
+// post-warmup completed unit, plus a client over transport rt (nil for
+// a clean transport).
+func chaosServer(t *testing.T, trig *fault.Panic, rt http.RoundTripper) (*httpserve.Server, *Client) {
+	t.Helper()
+	cfg := httpserve.Config{
+		Delta:      time.Minute,
+		WindowLen:  8,
+		Theta:      0.5,
+		Thresholds: tiresias.Thresholds{RT: 2, DT: 5},
+	}
+	if trig != nil {
+		cfg.DetectorOptions = []tiresias.Option{
+			tiresias.WithSink(tiresias.SinkFuncs{Unit: func(tiresias.UnitEvent) { trig.Poke() }}),
+		}
+	}
+	s, err := httpserve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close()
+	})
+	opts := []Option{WithRetry(4, time.Millisecond)}
+	if rt != nil {
+		opts = append(opts, WithHTTPClient(&http.Client{Transport: rt}))
+	}
+	c, err := New(ts.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// unitRecs is one record per timeunit in [from, to) for stream.
+func unitRecs(stream string, from, to int) []api.Record {
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var recs []api.Record
+	for u := from; u < to; u++ {
+		recs = append(recs, api.Record{
+			Stream: stream,
+			Path:   []string{"vho1", "io2"},
+			Time:   base.Add(time.Duration(u) * time.Minute),
+		})
+	}
+	return recs
+}
+
+// TestHealthAndQuarantineAcrossTheWire drives a detector panic through
+// the remote API: the quarantine error crosses the wire as a sentinel
+// errors.Is can test, and Health reports the degradation by name.
+func TestHealthAndQuarantineAcrossTheWire(t *testing.T) {
+	trig := fault.NewPanic(1, "remote sink boom")
+	_, c := chaosServer(t, trig, nil)
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != api.HealthOK || len(h.Quarantined) != 0 {
+		t.Fatalf("health before fault = %+v", h)
+	}
+
+	_, err = c.IngestBatch(ctx, unitRecs("poison", 0, 40))
+	if err == nil {
+		t.Fatal("poisoned ingest succeeded")
+	}
+	if !errors.Is(err, tiresias.ErrStreamQuarantined) {
+		t.Fatalf("err = %v, want errors.Is ErrStreamQuarantined across the wire", err)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want a 503 api.Error", err)
+	}
+
+	h, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != api.HealthDegraded || len(h.Quarantined) != 1 ||
+		h.Quarantined[0].Stream != "poison" || !strings.Contains(h.Quarantined[0].Reason, "remote sink boom") {
+		t.Fatalf("health after fault = %+v", h)
+	}
+	t.Logf("chaos-summary: client/health: quarantine crossed the wire as ErrStreamQuarantined, Health reported degraded with the stream named")
+}
+
+// TestFlakyTransportRetriesGET proves the retry loop against injected
+// transport failures: a GET survives two dropped connections, while a
+// non-idempotent POST fails fast on the first.
+func TestFlakyTransportRetriesGET(t *testing.T) {
+	rt := &fault.RoundTripper{FailFirst: 2}
+	_, c := chaosServer(t, nil, rt)
+	ctx := context.Background()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats through flaky transport: %v", err)
+	}
+	if st == nil || rt.Injected() != 2 || rt.Requests() != 3 {
+		t.Fatalf("injected=%d requests=%d, want 2 faults then success", rt.Injected(), rt.Requests())
+	}
+
+	// POSTs must not retry on transport errors: the server may have
+	// applied the write.
+	rt2 := &fault.RoundTripper{FailFirst: 1}
+	_, c2 := chaosServer(t, nil, rt2)
+	_, err = c2.IngestBatch(ctx, unitRecs("s", 0, 1))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("POST err = %v, want the injected fault surfaced unretried", err)
+	}
+	if rt2.Requests() != 1 {
+		t.Fatalf("POST retried: %d requests", rt2.Requests())
+	}
+	t.Logf("chaos-summary: client/transport: GET retried through 2 injected faults, POST surfaced its fault after exactly 1 attempt")
+}
+
+// TestWatchConnectsThroughFlakyTransport proves the watch budget: the
+// initial subscription survives injected connection failures and still
+// replays retained history once a connect lands.
+func TestWatchConnectsThroughFlakyTransport(t *testing.T) {
+	_, seeder := chaosServer(t, nil, nil)
+	ctx := context.Background()
+	if _, err := seeder.IngestNDJSON(ctx, strings.NewReader(ndjson("wf", 30))); err != nil {
+		t.Fatal(err)
+	}
+	// An independent flaky client against the same server would need
+	// the server URL; reuse the seeder's base via a second transport.
+	rt := &fault.RoundTripper{FailFirst: 2}
+	flaky, err := New(seeder.base.String(), WithRetry(4, time.Millisecond), WithHTTPClient(&http.Client{Transport: rt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	w := flaky.Watch(wctx, AnomalyQuery{Stream: "wf"})
+	if !w.Next() {
+		t.Fatalf("watch delivered nothing through the flaky transport: %v", w.Err())
+	}
+	if w.Entry().Anomaly.Key == "" {
+		t.Fatalf("empty entry: %+v", w.Entry())
+	}
+	if rt.Injected() != 2 {
+		t.Fatalf("injected = %d, want the first 2 connects dropped", rt.Injected())
+	}
+	t.Logf("chaos-summary: client/watch: subscription survived 2 injected connect failures and replayed retained history")
+}

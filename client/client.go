@@ -279,6 +279,18 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	return out, nil
 }
 
+// Health fetches the server's health report. The endpoint answers
+// 200 even when degraded — inspect Status and the impairment lists
+// (quarantined streams, latched worker errors) rather than relying
+// on an error return.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	out := &api.HealthResponse{}
+	if err := c.do(ctx, http.MethodGet, "/v2/healthz", nil, "", nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ServerConfig fetches the server's effective configuration.
 func (c *Client) ServerConfig(ctx context.Context) (*api.ServerConfig, error) {
 	out := &api.ServerConfig{}

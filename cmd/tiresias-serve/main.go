@@ -109,6 +109,9 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 		ckptDir   = fs.String("checkpoint-dir", "", "directory for stream checkpoints (enables POST /v2/checkpoint)")
 		restore   = fs.Bool("restore", false, "restore all streams from -checkpoint-dir at startup")
 		ckptEvery = fs.Duration("checkpoint-every", 0, "also checkpoint to -checkpoint-dir at this interval (0 disables)")
+		readTO    = fs.Duration("read-timeout", 2*time.Minute, "max duration reading one request, body included (0 disables)")
+		writeTO   = fs.Duration("write-timeout", time.Minute, "per-request write deadline; SSE watch streams are exempt (0 disables)")
+		idleTO    = fs.Duration("idle-timeout", 5*time.Minute, "max keep-alive idle time per connection (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, 0, err
@@ -155,6 +158,10 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 	if *maxGap <= 0 {
 		cfg.MaxGap = -1 // httpserve: negative disables the bound
 	}
+	cfg.WriteTimeout = *writeTO
+	if *writeTO <= 0 {
+		cfg.WriteTimeout = -1 // httpserve: negative disables the deadline
+	}
 	hs, err := httpserve.New(cfg)
 	if err != nil {
 		return nil, nil, 0, err
@@ -162,10 +169,17 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 	if hs.ColdStarted {
 		fmt.Fprintf(os.Stderr, "tiresias-serve: no checkpoint in %s yet, starting cold\n", *ckptDir)
 	}
+	// Write timeouts are per-request deadlines inside the handler chain
+	// (httpserve.Config.WriteTimeout), NOT http.Server.WriteTimeout: a
+	// server-level write timeout is measured from the start of the
+	// connection's request and would cut every long-lived SSE watch
+	// stream dead at the deadline, with no per-handler exemption.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           hs.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
 	}
 	if *ckptEvery > 0 {
 		// The ticker is tied to the server lifecycle: a Shutdown stops

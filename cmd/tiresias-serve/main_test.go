@@ -579,3 +579,46 @@ func TestBuildServerBadBackpressure(t *testing.T) {
 		t.Fatal("unknown backpressure policy must fail buildServer")
 	}
 }
+
+func TestBuildServerTimeouts(t *testing.T) {
+	// Defaults: the listener is hardened out of the box.
+	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.ReadTimeout != 2*time.Minute || srv.IdleTimeout != 5*time.Minute {
+		t.Fatalf("default timeouts: read=%v idle=%v", srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("server-level WriteTimeout = %v, must stay 0 (per-request deadlines would kill SSE)", srv.WriteTimeout)
+	}
+
+	// Overrides land, and 0 disables.
+	srv, _, _, err = buildServer([]string{
+		"-addr", "127.0.0.1:0", "-read-timeout", "7s", "-idle-timeout", "0", "-write-timeout", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.ReadTimeout != 7*time.Second || srv.IdleTimeout != 0 {
+		t.Fatalf("override timeouts: read=%v idle=%v", srv.ReadTimeout, srv.IdleTimeout)
+	}
+
+	// The built handler serves the health endpoint.
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v2/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, h.Status)
+	}
+}

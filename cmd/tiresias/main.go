@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"tiresias"
+	"tiresias/internal/fault"
 )
 
 func main() {
@@ -220,27 +221,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	return nil
 }
 
+// ckptFS is the filesystem writeCheckpoint runs on — fault.OS in the
+// shipped binary; the crash-point test swaps in a fault.Injector to
+// audit every failure point of the temp-file-plus-rename protocol.
+var ckptFS fault.FS = fault.OS{}
+
 // writeCheckpoint snapshots the detector to path atomically (temp file
 // + rename), so a crash mid-write cannot leave a torn checkpoint.
 func writeCheckpoint(t *tiresias.Tiresias, path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := ckptFS.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := t.Snapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		ckptFS.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		ckptFS.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		ckptFS.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return ckptFS.Rename(tmp, path)
 }

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"tiresias"
+	"tiresias/internal/fault"
 	"tiresias/internal/gen"
 	"tiresias/internal/stream"
 )
@@ -254,4 +256,64 @@ func TestRunResumeErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-resume", bad}, &out); err == nil {
 		t.Fatal("corrupt checkpoint must fail")
 	}
+}
+
+// TestWriteCheckpointCrashPoints enumerates every filesystem
+// operation of writeCheckpoint's temp-file-plus-rename protocol and
+// crashes at each one (that op and everything after it fails). After
+// every crash the previously committed checkpoint at the target path
+// must survive byte-identically and still be restorable — the
+// guarantee that makes `-checkpoint state.ckpt` safe to point at the
+// file being replaced.
+func TestWriteCheckpointCrashPoints(t *testing.T) {
+	defer func() { ckptFS = fault.OS{} }()
+	det, err := tiresias.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+
+	// Probe run: seed a committed checkpoint and count the protocol's
+	// operations.
+	probe := fault.NewInjector(nil)
+	ckptFS = probe
+	if err := writeCheckpoint(det, path); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 4 {
+		t.Fatalf("suspiciously few checkpoint ops: %d", total)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := int64(1); i <= total; i++ {
+		in := fault.NewInjector(nil).FailFrom(i)
+		ckptFS = in
+		err := writeCheckpoint(det, path)
+		if in.Injected() == 0 {
+			t.Fatalf("crash at op %d: fault never injected", i)
+		}
+		if err == nil {
+			t.Fatalf("crash at op %d: writeCheckpoint reported success while the disk was dead", i)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("crash at op %d: committed checkpoint unreadable: %v", i, rerr)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("crash at op %d: committed checkpoint changed", i)
+		}
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			t.Fatal(oerr)
+		}
+		if _, rerr := tiresias.Restore(f); rerr != nil {
+			t.Fatalf("crash at op %d: committed checkpoint no longer restores: %v", i, rerr)
+		}
+		f.Close()
+	}
+	t.Logf("chaos-summary: cmd-checkpoint/crash: %d crash points audited, the committed checkpoint survived each", total)
 }

@@ -1,0 +1,170 @@
+package httpserve
+
+// Serving-layer chaos tests: handler panics are contained per request,
+// a panicking stream degrades /v2/healthz without taking down the
+// server, and the SSE watch stream outlives the per-request write
+// deadline it is exempt from.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tiresias"
+	"tiresias/api"
+	"tiresias/internal/fault"
+)
+
+// unitBody renders one record per timeunit in [from, to) for stream.
+func unitBody(stream string, from, to int) string {
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	for u := from; u < to; u++ {
+		fmt.Fprintf(&b, `{"stream":%q,"path":["vho1","io2"],"time":%q}`+"\n",
+			stream, base.Add(time.Duration(u)*time.Minute).Format(time.RFC3339))
+	}
+	return b.String()
+}
+
+// TestHandlerPanicRecovery proves the containment middleware: a
+// panicking handler yields one structured 500, the panic counter
+// ticks, and the server keeps serving every other route.
+func TestHandlerPanicRecovery(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	// An in-package test can extend the mux; the containment wrapper
+	// returned by Handler() covers routes registered after New too.
+	s.mux.HandleFunc("GET /v2/testpanic", func(w http.ResponseWriter, r *http.Request) {
+		panic("chaos: handler boom")
+	})
+
+	for i := 0; i < 3; i++ {
+		resp := get(t, ts.URL+"/v2/testpanic", nil)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic request %d: status = %d, want 500", i, resp.StatusCode)
+		}
+		we := decodeError(t, resp)
+		if we.Code != api.CodeInternal || !strings.Contains(we.Message, "handler boom") {
+			t.Fatalf("panic request %d: error = %+v", i, we)
+		}
+	}
+
+	// The server is still alive and accounts for the recoveries.
+	var st api.StatsResponse
+	if resp := get(t, ts.URL+"/v2/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after panics: status = %d", resp.StatusCode)
+	}
+	if st.Panics != 3 {
+		t.Fatalf("stats.Panics = %d, want 3", st.Panics)
+	}
+	var h api.HealthResponse
+	get(t, ts.URL+"/v2/healthz", &h)
+	if h.Status != api.HealthOK || h.Panics != 3 {
+		t.Fatalf("healthz after panics = %+v, want ok with 3 panics", h)
+	}
+	t.Logf("chaos-summary: httpserve/panic-recovery: 3 handler panics contained as structured 500s, server kept serving")
+}
+
+// TestHealthzDegradedByQuarantine drives a detector panic through the
+// ingest path: the poisoned stream is quarantined (503 on the wire),
+// /v2/healthz flips to degraded and names it, other streams keep
+// serving, and a Reopen restores ok.
+func TestHealthzDegradedByQuarantine(t *testing.T) {
+	trig := fault.NewPanic(1, "unit sink boom")
+	cfg := testConfig()
+	cfg.DetectorOptions = []tiresias.Option{
+		tiresias.WithSink(tiresias.SinkFuncs{Unit: func(tiresias.UnitEvent) { trig.Poke() }}),
+	}
+	s, ts := newTestServer(t, cfg)
+
+	var h api.HealthResponse
+	get(t, ts.URL+"/v2/healthz", &h)
+	if h.Status != api.HealthOK || len(h.Quarantined) != 0 {
+		t.Fatalf("healthz before fault = %+v", h)
+	}
+
+	// Feed enough whole units that the stream warms up and completes a
+	// post-warmup unit, whose sink event panics inside Feed.
+	resp := post(t, ts.URL+"/v2/records", "application/x-ndjson", unitBody("poison", 0, 40), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("poisoned ingest status = %d, want 503", resp.StatusCode)
+	}
+	if we := decodeError(t, resp); we.Code != api.CodeStreamQuarantined {
+		t.Fatalf("poisoned ingest error = %+v, want %s", we, api.CodeStreamQuarantined)
+	}
+	if !trig.Fired() {
+		t.Fatal("panic trigger never fired")
+	}
+
+	get(t, ts.URL+"/v2/healthz", &h)
+	if h.Status != api.HealthDegraded {
+		t.Fatalf("healthz status = %q, want degraded", h.Status)
+	}
+	if len(h.Quarantined) != 1 || h.Quarantined[0].Stream != "poison" ||
+		!strings.Contains(h.Quarantined[0].Reason, "unit sink boom") {
+		t.Fatalf("healthz quarantined = %+v", h.Quarantined)
+	}
+
+	// Degraded means degraded, not down: a healthy stream (still in
+	// warmup, so its unit sink stays silent) ingests fine.
+	var ing api.IngestResponse
+	if resp := post(t, ts.URL+"/v2/records", "application/x-ndjson", unitBody("healthy", 0, 5), &ing); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest during degradation: status = %d", resp.StatusCode)
+	}
+	if ing.Accepted != 5 {
+		t.Fatalf("healthy ingest accepted = %d", ing.Accepted)
+	}
+	// The quarantined stream keeps refusing with the same code.
+	resp = post(t, ts.URL+"/v2/records", "application/x-ndjson", unitBody("poison", 40, 41), nil)
+	if we := decodeError(t, resp); resp.StatusCode != http.StatusServiceUnavailable || we.Code != api.CodeStreamQuarantined {
+		t.Fatalf("quarantined re-ingest = %d / %+v", resp.StatusCode, we)
+	}
+
+	// Reopen retires the quarantined stream and clears the degradation.
+	if !s.mgr.Reopen("poison") {
+		t.Fatal("Reopen did not clear the quarantine")
+	}
+	var after api.HealthResponse // fresh: omitted fields must not inherit h's
+	get(t, ts.URL+"/v2/healthz", &after)
+	if after.Status != api.HealthOK || len(after.Quarantined) != 0 {
+		t.Fatalf("healthz after reopen = %+v", after)
+	}
+	t.Logf("chaos-summary: httpserve/quarantine: detector panic → 503 %s, healthz degraded→ok across Reopen, healthy streams unaffected", api.CodeStreamQuarantined)
+}
+
+// TestWatchOutlivesWriteDeadline pins the deadline exemption: with a
+// WriteTimeout far shorter than the stream's life, a watch opened
+// before any anomalies still delivers events long after the deadline
+// would have killed a regular response.
+func TestWatchOutlivesWriteDeadline(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteTimeout = 100 * time.Millisecond
+	_, ts := newTestServer(t, cfg)
+
+	resp, err := http.Get(ts.URL + "/v2/anomalies/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status = %d", resp.StatusCode)
+	}
+
+	// Sit well past the write deadline before the server has anything
+	// to send, then trigger detections.
+	time.Sleep(4 * cfg.WriteTimeout)
+	post(t, ts.URL+"/v2/records", "application/x-ndjson", ndjsonBody("wd", 30), nil)
+
+	deadline := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if sc.Text() == "event: anomaly" {
+			t.Logf("chaos-summary: httpserve/watch-deadline: SSE event delivered %v after a %v write deadline", 4*cfg.WriteTimeout, cfg.WriteTimeout)
+			return
+		}
+	}
+	t.Fatalf("watch stream ended without an anomaly event (scan err: %v) — write deadline not exempted?", sc.Err())
+}

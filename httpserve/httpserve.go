@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tiresias"
@@ -84,6 +85,14 @@ type Config struct {
 	// of queue-full 429 responses (default 1s, rounded up to whole
 	// seconds on the wire).
 	RetryAfter time.Duration
+	// WriteTimeout is the per-request write deadline armed before
+	// each handler runs, so one dead client socket cannot pin a
+	// handler goroutine forever. The SSE watch stream exempts itself
+	// (it is long-lived by design and paced by heartbeats). Negative
+	// disables the deadline; 0 selects the default 60s. Deliberately
+	// per-request, not http.Server.WriteTimeout — a server-level
+	// write timeout would kill every watch stream at the deadline.
+	WriteTimeout time.Duration
 }
 
 // withDefaults returns cfg with every zero field resolved.
@@ -129,6 +138,11 @@ func (cfg Config) withDefaults() Config {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = time.Minute
+	} else if cfg.WriteTimeout < 0 {
+		cfg.WriteTimeout = 0
+	}
 	return cfg
 }
 
@@ -142,7 +156,12 @@ type Server struct {
 	store     *tiresias.Store
 	hub       *hub
 	mux       *http.ServeMux
+	handler   http.Handler
 	pipelined bool
+
+	// panics counts handler panics the recovery middleware contained,
+	// surfaced in /v2/stats and /v2/healthz.
+	panics atomic.Uint64
 
 	// ColdStarted reports that Config.Restore was set but the
 	// checkpoint directory held no checkpoint yet, so the fleet
@@ -220,16 +239,80 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v2/streams/{id}", s.streamDetailV2)
 	s.mux.HandleFunc("GET /v2/stats", s.statsV2)
 	s.mux.HandleFunc("GET /v2/config", s.configV2)
+	s.mux.HandleFunc("GET /v2/healthz", s.healthzV2)
 	s.mux.HandleFunc("POST /v2/checkpoint", s.checkpointV2)
 	s.routesV1()
 	// The dashboard serves the HTML report at "/" and keeps its
 	// legacy JSON API at /anomalies and /stats.
 	s.mux.Handle("/", s.store.DashboardHandler())
+	s.handler = s.contain(s.mux)
 }
 
 // Handler returns the root handler: /v2, the /v1 shims, and the
-// dashboard.
-func (s *Server) Handler() http.Handler { return s.mux }
+// dashboard, wrapped in the per-request containment middleware
+// (panic recovery plus the write deadline).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// contain is the per-request containment middleware: it arms the
+// write deadline (Config.WriteTimeout) and converts a handler panic
+// into a structured 500 plus a counted recovery — one poisoned
+// request must not kill the process serving every other stream.
+func (s *Server) contain(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				if !tw.wrote {
+					writeErrorV2(tw, &wireError{
+						status:  http.StatusInternalServerError,
+						code:    api.CodeInternal,
+						message: fmt.Sprintf("internal panic: %v", p),
+					})
+				}
+				// Headers already sent: nothing coherent can be
+				// written; the connection is torn down by the panic
+				// counting alone.
+			}
+		}()
+		if s.cfg.WriteTimeout > 0 {
+			// Best effort: test recorders don't support deadlines.
+			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackingWriter records whether the response has started, so the
+// recovery middleware knows whether a structured 500 can still be
+// written. It forwards Flush and exposes Unwrap so SSE streaming and
+// ResponseController deadlines keep working through the wrapper.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements http.ResponseWriter.
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
+}
+
+// Flush implements http.Flusher (the watch stream requires it).
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
 
 // Manager exposes the underlying fleet (for lifecycle hooks such as
 // periodic checkpoints; treat as shared).
@@ -360,7 +443,10 @@ func (s *Server) ingest(r *http.Request) (api.IngestResponse, *wireError) {
 	if s.pipelined {
 		resp.Queued = true
 		for _, g := range groups {
-			if err := s.mgr.EnqueueBatch(g.stream, g.recs); err != nil {
+			// The request context bounds the enqueue: a client that
+			// hung up stops waiting on a full Block-policy queue
+			// instead of pinning this handler goroutine.
+			if err := s.mgr.EnqueueBatchContext(r.Context(), g.stream, g.recs); err != nil {
 				code := api.CodeFor(err, api.CodeInternal)
 				we := &wireError{
 					status:    api.StatusFor(code),
@@ -623,7 +709,36 @@ func (s *Server) statsV2(w http.ResponseWriter, r *http.Request) {
 		Index:    s.ix.Stats(),
 		Watch:    s.hub.stats(),
 		StoreLen: s.store.Len(),
+		Panics:   s.panics.Load(),
 	})
+}
+
+// healthzV2 serves GET /v2/healthz: always 200 (degraded still means
+// serving — orchestration keys on the JSON status), with the concrete
+// impairments listed so automation can target the fix (Reopen a
+// quarantined stream) instead of bouncing the process.
+func (s *Server) healthzV2(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	resp := api.HealthResponse{
+		Status:  api.HealthOK,
+		Streams: st.Streams,
+		Panics:  s.panics.Load(),
+	}
+	for _, q := range s.mgr.Quarantined() {
+		resp.Quarantined = append(resp.Quarantined, api.QuarantinedStream{
+			Stream: q.Name,
+			Reason: q.QuarantineReason,
+		})
+	}
+	for _, ss := range st.Shards {
+		if ss.Pipeline != nil && ss.Pipeline.LastError != "" {
+			resp.WorkerErrors = append(resp.WorkerErrors, ss.Pipeline.LastError)
+		}
+	}
+	if len(resp.Quarantined) > 0 || len(resp.WorkerErrors) > 0 {
+		resp.Status = api.HealthDegraded
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // configV2 serves GET /v2/config.

@@ -187,6 +187,12 @@ func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.hub.unsubscribe(sub)
 
+	// The watch stream is long-lived by design: lift the per-request
+	// write deadline the containment middleware armed (slow consumers
+	// are handled by the hub's lagged-disconnect path instead). Best
+	// effort — test recorders don't support deadlines.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")

@@ -1,0 +1,67 @@
+// Package fault is the fault-injection layer of the tiresias chaos
+// suite: deterministic failure seams for the places where the process
+// meets the outside world, so every failure domain can be driven
+// through its worst case in an ordinary `go test -race` run instead of
+// waiting for production to find it.
+//
+// Three injectors cover the three domains:
+//
+//   - FS / Injector: a filesystem seam (create, write, sync, rename,
+//     remove, readdir, ...) with fail-at-op-N (transient error),
+//     fail-from-op-N (crash model: the op and everything after it
+//     fails), and fail-on-pattern hooks. The checkpoint subsystem
+//     performs all I/O through an FS, so a test can enumerate every
+//     operation of a Manager.Checkpoint and prove the commit protocol
+//     survives a failure injected at each one.
+//   - RoundTripper: an http.RoundTripper wrapper that fails requests
+//     before they reach the network, for client retry/reconnect tests.
+//   - Panic: a countdown trigger that panics on its Nth poke, for
+//     driving the panic-quarantine path from inside sinks and
+//     detector wrappers.
+//
+// Every injector counts what it injected, so a chaos test can report
+// honest coverage ("N ops enumerated, M faults injected") instead of
+// asserting against a silent no-op.
+package fault
+
+import "errors"
+
+// ErrInjected is the error every injector returns (wrapped) when it
+// fires, unless a custom error is configured. Test with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Op names one filesystem operation kind, for pattern hooks and
+// failure reports.
+type Op string
+
+// The filesystem operation kinds an Injector counts and can fail.
+const (
+	// OpCreate is FS.Create.
+	OpCreate Op = "create"
+	// OpOpen is FS.Open.
+	OpOpen Op = "open"
+	// OpMkdir is FS.Mkdir.
+	OpMkdir Op = "mkdir"
+	// OpMkdirAll is FS.MkdirAll.
+	OpMkdirAll Op = "mkdirall"
+	// OpRename is FS.Rename.
+	OpRename Op = "rename"
+	// OpRemove is FS.Remove.
+	OpRemove Op = "remove"
+	// OpRemoveAll is FS.RemoveAll.
+	OpRemoveAll Op = "removeall"
+	// OpReadDir is FS.ReadDir.
+	OpReadDir Op = "readdir"
+	// OpReadFile is FS.ReadFile.
+	OpReadFile Op = "readfile"
+	// OpGlob is FS.Glob.
+	OpGlob Op = "glob"
+	// OpWrite is File.Write.
+	OpWrite Op = "write"
+	// OpRead is File.Read.
+	OpRead Op = "read"
+	// OpSync is File.Sync.
+	OpSync Op = "sync"
+	// OpClose is File.Close.
+	OpClose Op = "close"
+)

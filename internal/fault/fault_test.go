@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// touchAll runs a small fixed fs workload: mkdir, create+write+sync+
+// close, rename, readdir, readfile, open+read+close, glob, remove.
+// Returns nil only if every operation succeeded.
+func touchAll(fsys FS, dir string) error {
+	sub := filepath.Join(dir, "d")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		return err
+	}
+	f, err := fsys.Create(filepath.Join(sub, "a"))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(filepath.Join(sub, "a"), filepath.Join(sub, "b")); err != nil {
+		return err
+	}
+	if _, err := fsys.ReadDir(sub); err != nil {
+		return err
+	}
+	if _, err := fsys.ReadFile(filepath.Join(sub, "b")); err != nil {
+		return err
+	}
+	rf, err := fsys.Open(filepath.Join(sub, "b"))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	if _, err := rf.Read(buf); err != nil {
+		rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	if _, err := fsys.Glob(filepath.Join(sub, "*")); err != nil {
+		return err
+	}
+	return fsys.Remove(filepath.Join(sub, "b"))
+}
+
+func TestInjectorCountsAndPassesThrough(t *testing.T) {
+	in := NewInjector(OS{})
+	if err := touchAll(in, t.TempDir()); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("injected %d faults with nothing armed", in.Injected())
+	}
+	if in.Ops() == 0 {
+		t.Fatal("no operations counted")
+	}
+}
+
+// TestInjectorFailAtEveryOp enumerates the workload's operations and
+// proves FailAt(i) fails the run for every single i — the enumeration
+// pattern the checkpoint crash-point audit relies on.
+func TestInjectorFailAtEveryOp(t *testing.T) {
+	probe := NewInjector(OS{})
+	if err := touchAll(probe, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	for i := int64(1); i <= total; i++ {
+		in := NewInjector(OS{}).FailAt(i)
+		err := touchAll(in, t.TempDir())
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("FailAt(%d): err = %v, want ErrInjected", i, err)
+		}
+		if in.Injected() != 1 {
+			t.Fatalf("FailAt(%d): injected %d faults, want 1", i, in.Injected())
+		}
+	}
+	// One past the end: nothing to inject, the run succeeds.
+	in := NewInjector(OS{}).FailAt(total + 1)
+	if err := touchAll(in, t.TempDir()); err != nil {
+		t.Fatalf("FailAt(total+1): %v", err)
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("FailAt(total+1): injected %d faults, want 0", in.Injected())
+	}
+}
+
+// TestInjectorFailFrom pins the crash model: every operation from the
+// crash point on fails, including cleanup.
+func TestInjectorFailFrom(t *testing.T) {
+	in := NewInjector(OS{}).FailFrom(3)
+	err := touchAll(in, t.TempDir())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Everything after the crash point keeps failing.
+	if _, err := in.ReadDir(t.TempDir()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash ReadDir: err = %v, want ErrInjected", err)
+	}
+	if in.Injected() < 2 {
+		t.Fatalf("injected %d faults, want >= 2", in.Injected())
+	}
+}
+
+// TestInjectorFailOnPattern fails by operation kind and path.
+func TestInjectorFailOnPattern(t *testing.T) {
+	in := NewInjector(OS{}).FailOn(func(op Op, path string) bool {
+		return op == OpSync && strings.HasSuffix(path, "a")
+	})
+	err := touchAll(in, t.TempDir())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected on the sync", err)
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("injected %d faults, want 1", in.Injected())
+	}
+}
+
+// TestInjectorTransientRecovers proves FailAt is one-shot: a retry of
+// the same workload after a transient failure succeeds.
+func TestInjectorTransientRecovers(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}).FailAt(2)
+	if err := touchAll(in, dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := touchAll(in, filepath.Join(dir, "retry")); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+}
+
+func TestInjectorCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	in := NewInjector(OS{}).SetErr(sentinel).FailAt(1)
+	_, err := in.ReadDir(t.TempDir())
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the custom sentinel", err)
+	}
+}
+
+// TestOSPassthrough sanity-checks the production FS against the real
+// filesystem.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	if err := touchAll(OS{}, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "d")); err != nil {
+		t.Fatalf("workload left no directory: %v", err)
+	}
+}
+
+func TestRoundTripperFailFirst(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	rt := &RoundTripper{FailFirst: 2}
+	hc := &http.Client{Transport: rt}
+	for i := 0; i < 2; i++ {
+		if _, err := hc.Get(srv.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("request %d: err = %v, want ErrInjected", i+1, err)
+		}
+	}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request 3: %v", err)
+	}
+	resp.Body.Close()
+	if rt.Requests() != 3 || rt.Injected() != 2 {
+		t.Fatalf("requests=%d injected=%d, want 3/2", rt.Requests(), rt.Injected())
+	}
+}
+
+func TestRoundTripperFailOn(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	rt := &RoundTripper{FailOn: func(n int64, req *http.Request) bool {
+		return req.Method == http.MethodPost
+	}}
+	hc := &http.Client{Transport: rt}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := hc.Post(srv.URL, "text/plain", strings.NewReader("x")); err == nil {
+		t.Fatal("POST: want injected failure")
+	}
+	if rt.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", rt.Injected())
+	}
+}
+
+func TestPanicFiresOnceAtN(t *testing.T) {
+	p := NewPanic(3, "boom")
+	poke := func() (v any) {
+		defer func() { v = recover() }()
+		p.Poke()
+		return nil
+	}
+	if v := poke(); v != nil {
+		t.Fatalf("poke 1 panicked: %v", v)
+	}
+	if v := poke(); v != nil {
+		t.Fatalf("poke 2 panicked: %v", v)
+	}
+	v := poke()
+	pv, ok := v.(PanicValue)
+	if !ok || pv.Msg != "boom" || pv.Poke != 3 {
+		t.Fatalf("poke 3: recovered %#v, want PanicValue{boom, 3}", v)
+	}
+	if !p.Fired() {
+		t.Fatal("Fired() = false after firing")
+	}
+	// Fires exactly once: a quarantined-but-poked component must not
+	// re-panic.
+	if v := poke(); v != nil {
+		t.Fatalf("poke 4 panicked again: %v", v)
+	}
+	if p.Pokes() != 4 {
+		t.Fatalf("pokes = %d, want 4", p.Pokes())
+	}
+}

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// RoundTripper injects transport-level failures in front of an inner
+// http.RoundTripper: configured requests fail with an error before
+// reaching the network, the way a dropped connection or a dead peer
+// surfaces to net/http. Use it as the Transport of the http.Client a
+// tiresias client is built with, to drive retry, backoff, and watch
+// reconnect paths deterministically.
+//
+// Configure before first use; the counters are safe to read
+// concurrently with in-flight requests.
+type RoundTripper struct {
+	// Inner performs the real requests (nil selects
+	// http.DefaultTransport).
+	Inner http.RoundTripper
+	// FailFirst fails the first N requests.
+	FailFirst int64
+	// FailOn, if non-nil, fails every request it reports true for
+	// (n is the 1-based request number).
+	FailOn func(n int64, req *http.Request) bool
+	// Err is the injected error (nil selects ErrInjected; the
+	// injected error always wraps the effective value).
+	Err error
+
+	mu       sync.Mutex
+	n        int64 // requests observed, guarded by mu
+	injected int64 // failures injected, guarded by mu
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.n++
+	n := rt.n
+	fire := n <= rt.FailFirst || (rt.FailOn != nil && rt.FailOn(n, req))
+	if fire {
+		rt.injected++
+	}
+	rt.mu.Unlock()
+	if fire {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		base := rt.Err
+		if base == nil {
+			base = ErrInjected
+		}
+		return nil, fmt.Errorf("%w: request %d (%s %s)", base, n, req.Method, req.URL.Path)
+	}
+	inner := rt.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// Requests returns the number of requests observed so far.
+func (rt *RoundTripper) Requests() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.n
+}
+
+// Injected returns the number of requests failed so far.
+func (rt *RoundTripper) Injected() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.injected
+}

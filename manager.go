@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tiresias/internal/algo"
+	"tiresias/internal/fault"
 	"tiresias/internal/stream"
 )
 
@@ -39,6 +40,11 @@ type Manager struct {
 	// timer racing an on-demand trigger cannot interleave generation
 	// writes in the same directory.
 	ckptMu sync.Mutex
+
+	// fsys is the filesystem the checkpoint subsystem performs its
+	// I/O through: fault.OS in production, a fault.Injector in the
+	// crash-point audits (see withFS).
+	fsys fault.FS
 }
 
 type managerShard struct {
@@ -89,6 +95,7 @@ func (sh *managerShard) getOrCreate(m *Manager, streamName string) (*managedStre
 }
 
 // managedStream is one tenant: a detector plus its windowing state.
+// All fields are accessed under the owning shard's lock.
 type managedStream struct {
 	det     *Tiresias
 	w       *stream.Windower
@@ -97,6 +104,15 @@ type managedStream struct {
 	dirty   bool // current timeunit has records since the last Flush
 	units   int  // detection units processed
 	anoms   int  // anomalies detected
+
+	// quarantined latches that a panic escaped this stream's
+	// detector, windower, or sink mid-feed; quarReason records the
+	// panic value. A quarantined stream refuses records with
+	// ErrStreamQuarantined and is excluded from checkpoints — its
+	// state was interrupted mid-update and cannot be trusted. Reopen
+	// retires it. See quarantine.go.
+	quarantined bool
+	quarReason  string
 }
 
 // managerOptions collects Manager configuration.
@@ -110,6 +126,14 @@ type managerOptions struct {
 	policy       BackpressurePolicy
 	index        *AnomalyIndex
 	observer     func([]AnomalyEntry)
+	fsys         fault.FS
+}
+
+// withFS substitutes the filesystem the Manager's checkpoint I/O runs
+// on. Deliberately unexported: the only intended non-OS filesystem is
+// the fault injector of the crash-point audits.
+func withFS(fsys fault.FS) ManagerOption {
+	return managerOptionFunc(func(o *managerOptions) { o.fsys = fsys })
 }
 
 // DefaultMaxGap bounds how many timeunits a single record may
@@ -206,6 +230,9 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 	if o.observer != nil && o.index == nil {
 		return nil, fmt.Errorf("tiresias: WithAnomalyObserver requires WithAnomalyIndex (the index assigns the entry cursors the observer receives)")
 	}
+	if o.fsys == nil {
+		o.fsys = fault.OS{}
+	}
 	m := &Manager{
 		shards:       make([]managerShard, o.shards),
 		factory:      o.factory,
@@ -213,6 +240,7 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 		detectorOpts: o.detectorOpts,
 		index:        o.index,
 		observer:     o.observer,
+		fsys:         o.fsys,
 	}
 	for i := range m.shards {
 		m.shards[i].streams = make(map[string]*managedStream) //tiresias:ignore lockguard (construction before publication; no other goroutine can hold a shard yet)
@@ -247,8 +275,14 @@ func (m *Manager) shardOf(name string) *managerShard {
 // stream must arrive in time order; different streams are fully
 // independent. Feeding a stream removed by Drop returns
 // ErrStreamDropped (see Drop for the rationale and Reopen for the
-// escape hatch).
-func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
+// escape hatch); feeding a quarantined stream returns
+// ErrStreamQuarantined (see quarantine.go).
+//
+// A panic escaping the stream's detector, windower, or sinks is
+// contained: the stream is quarantined, Feed returns
+// ErrStreamQuarantined, and the process — including every other
+// stream — keeps running.
+func (m *Manager) Feed(streamName string, r Record) (out []Anomaly, err error) {
 	sh := m.shardOf(streamName)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -256,11 +290,15 @@ func (m *Manager) Feed(streamName string, r Record) ([]Anomaly, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := ms.feed(r)
+	if ms.quarantined {
+		return nil, quarantineErr(streamName, ms.quarReason)
+	}
+	defer containPanic(streamName, ms, &err)
+	out, ferr := ms.feed(r)
 	sh.anomalies += uint64(len(out))
 	m.record(streamName, out)
-	if err != nil {
-		return out, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+	if ferr != nil {
+		return out, fmt.Errorf("tiresias: stream %q: %w", streamName, ferr)
 	}
 	sh.records++
 	return out, nil
@@ -279,8 +317,11 @@ func (m *Manager) FeedBatch(streamName string, recs []Record) ([]Anomaly, int, e
 }
 
 // feedBatch is FeedBatch; it is also the pipeline workers' entry
-// point, kept unexported-callable so the two paths cannot drift.
-func (m *Manager) feedBatch(streamName string, recs []Record) ([]Anomaly, int, error) {
+// point, kept unexported-callable so the two paths cannot drift. Like
+// Feed it contains panics: the offending stream is quarantined,
+// records already applied stay counted, and the caller gets
+// ErrStreamQuarantined with the applied count.
+func (m *Manager) feedBatch(streamName string, recs []Record) (out []Anomaly, applied int, err error) {
 	if len(recs) == 0 {
 		return nil, 0, nil
 	}
@@ -291,16 +332,18 @@ func (m *Manager) feedBatch(streamName string, recs []Record) ([]Anomaly, int, e
 	if err != nil {
 		return nil, 0, err
 	}
-	var out []Anomaly
-	applied := 0
+	if ms.quarantined {
+		return nil, 0, quarantineErr(streamName, ms.quarReason)
+	}
+	defer containPanic(streamName, ms, &err)
 	for _, r := range recs {
-		anoms, err := ms.feed(r)
+		anoms, ferr := ms.feed(r)
 		out = append(out, anoms...)
-		if err != nil {
+		if ferr != nil {
 			sh.records += uint64(applied)
 			sh.anomalies += uint64(len(out))
 			m.record(streamName, out)
-			return out, applied, fmt.Errorf("tiresias: stream %q: record %d: %w", streamName, applied, err)
+			return out, applied, fmt.Errorf("tiresias: stream %q: record %d: %w", streamName, applied, ferr)
 		}
 		applied++
 	}
@@ -368,7 +411,7 @@ func (ms *managedStream) advance(u *algo.DenseUnit) ([]Anomaly, error) {
 // enqueued before the call are windowed before the unit is finalized
 // (otherwise they would arrive after their unit closed and be rejected
 // as out-of-order).
-func (m *Manager) Flush(streamName string) ([]Anomaly, error) {
+func (m *Manager) Flush(streamName string) (anoms []Anomaly, err error) {
 	if m.pipe != nil {
 		m.pipe.drain()
 	}
@@ -379,12 +422,16 @@ func (m *Manager) Flush(streamName string) ([]Anomaly, error) {
 	if !ok || !ms.first.seen || !ms.dirty {
 		return nil, nil
 	}
+	if ms.quarantined {
+		return nil, quarantineErr(streamName, ms.quarReason)
+	}
+	defer containPanic(streamName, ms, &err)
 	ms.dirty = false
-	anoms, err := ms.advance(ms.w.FlushDense())
+	anoms, ferr := ms.advance(ms.w.FlushDense())
 	sh.anomalies += uint64(len(anoms))
 	m.record(streamName, anoms)
-	if err != nil {
-		return anoms, fmt.Errorf("tiresias: stream %q: %w", streamName, err)
+	if ferr != nil {
+		return anoms, fmt.Errorf("tiresias: stream %q: %w", streamName, ferr)
 	}
 	return anoms, nil
 }
@@ -417,15 +464,22 @@ func (m *Manager) Drop(streamName string) bool {
 	return ok
 }
 
-// Reopen clears the tombstone Drop left for the named stream,
-// reporting whether one existed. After Reopen the next Feed lazily
-// creates a fresh detector (cold, full warmup) under the name.
+// Reopen clears the tombstone Drop left for the named stream, and
+// retires the stream's quarantined state if a panic quarantined it
+// (see ErrStreamQuarantined), reporting whether either existed. After
+// Reopen the next Feed lazily creates a fresh detector (cold, full
+// warmup) under the name — the quarantined detector's state is
+// discarded, never resumed.
 func (m *Manager) Reopen(streamName string) bool {
 	sh := m.shardOf(streamName)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	_, dead := sh.dropped[streamName]
 	delete(sh.dropped, streamName)
+	if ms, ok := sh.streams[streamName]; ok && ms.quarantined {
+		delete(sh.streams, streamName)
+		return true
+	}
 	return dead
 }
 
@@ -456,6 +510,12 @@ type StreamStatus struct {
 	PendingWarmup int `json:"pendingWarmup"`
 	// UnitStart is the start of the current (incomplete) timeunit.
 	UnitStart time.Time `json:"unitStart"`
+	// Quarantined reports that a panic escaped this stream's detector
+	// and it now refuses records (see ErrStreamQuarantined).
+	Quarantined bool `json:"quarantined,omitempty"`
+	// QuarantineReason records the panic value that caused the
+	// quarantine; empty unless Quarantined.
+	QuarantineReason string `json:"quarantineReason,omitempty"`
 }
 
 // status snapshots the stream's StreamStatus. The shard lock must be
@@ -463,12 +523,14 @@ type StreamStatus struct {
 // drift.
 func (ms *managedStream) status(name string) StreamStatus {
 	return StreamStatus{
-		Name:          name,
-		Warm:          ms.det.Warm(),
-		Units:         ms.units,
-		Anomalies:     ms.anoms,
-		PendingWarmup: len(ms.warmBuf),
-		UnitStart:     ms.w.Start(),
+		Name:             name,
+		Warm:             ms.det.Warm(),
+		Units:            ms.units,
+		Anomalies:        ms.anoms,
+		PendingWarmup:    len(ms.warmBuf),
+		UnitStart:        ms.w.Start(),
+		Quarantined:      ms.quarantined,
+		QuarantineReason: ms.quarReason,
 	}
 }
 
@@ -483,8 +545,14 @@ func (m *Manager) Streams() []StreamStatus {
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sortStatuses(out)
 	return out
+}
+
+// sortStatuses orders stream snapshots by name, the stable order
+// every fleet-wide read (Streams, Quarantined) presents.
+func sortStatuses(sts []StreamStatus) {
+	sort.Slice(sts, func(i, j int) bool { return sts[i].Name < sts[j].Name })
 }
 
 // Stream snapshots one managed stream by name together with its
@@ -493,7 +561,8 @@ func (m *Manager) Streams() []StreamStatus {
 // stream exists — the per-stream detail read behind the serving
 // layer's GET /v2/streams/{id}, taken atomically under one shard
 // lock. hh is a copy; nil with ok == true means the stream has not
-// finished warmup.
+// finished warmup (or is quarantined — a quarantined detector's
+// interrupted state is not read).
 func (m *Manager) Stream(streamName string) (st StreamStatus, hh []Key, ok bool) {
 	sh := m.shardOf(streamName)
 	sh.mu.Lock()
@@ -502,13 +571,16 @@ func (m *Manager) Stream(streamName string) (st StreamStatus, hh []Key, ok bool)
 	if !ok {
 		return StreamStatus{}, nil, false
 	}
+	if ms.quarantined {
+		return ms.status(streamName), nil, true
+	}
 	return ms.status(streamName), ms.det.HeavyHitters(), true
 }
 
 // HeavyHitters returns the named stream's current SHHH membership
 // keys, reporting whether the stream exists — Stream without the
 // status snapshot. The slice is a copy; nil with ok == true means
-// the stream has not finished warmup. This surfaces per-stream
+// the stream has not finished warmup or is quarantined. This surfaces per-stream
 // Tiresias.HeavyHitters through the Manager, so embedders can read
 // it without reaching into detectors.
 func (m *Manager) HeavyHitters(streamName string) (keys []Key, ok bool) {
@@ -518,6 +590,9 @@ func (m *Manager) HeavyHitters(streamName string) (keys []Key, ok bool) {
 	ms, ok := sh.streams[streamName]
 	if !ok {
 		return nil, false
+	}
+	if ms.quarantined {
+		return nil, true
 	}
 	return ms.det.HeavyHitters(), true
 }

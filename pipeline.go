@@ -8,6 +8,7 @@ package tiresias
 // and Flush), and graceful shutdown (Close).
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -163,8 +164,12 @@ func (p *pipeline) worker(i int) {
 }
 
 // enqueue routes one job to its shard's queue under the configured
-// backpressure policy.
-func (p *pipeline) enqueue(si int, job pipeJob) error {
+// backpressure policy. ctx bounds the wait: a Block policy send
+// unblocks on cancellation, and the DropOldest eviction loop checks
+// it between attempts. context.Background() (whose Done channel is
+// nil, so the cancel select arm never fires) recovers the original
+// unbounded behavior.
+func (p *pipeline) enqueue(ctx context.Context, si int, job pipeJob) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
@@ -175,6 +180,9 @@ func (p *pipeline) enqueue(si int, job pipeJob) error {
 	switch p.policy {
 	case DropOldest:
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			select {
 			case ps.ch <- job:
 				ps.enqueued.Add(n)
@@ -206,9 +214,13 @@ func (p *pipeline) enqueue(si int, job pipeJob) error {
 			return ErrQueueFull
 		}
 	default: // Block
-		ps.ch <- job
-		ps.enqueued.Add(n)
-		return nil
+		select {
+		case ps.ch <- job:
+			ps.enqueued.Add(n)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }
 
@@ -273,13 +285,34 @@ func (m *Manager) Enqueue(streamName string, r Record) error {
 // error (out-of-order record, dropped stream, gap violation) is
 // counted and latched in Stats rather than returned.
 func (m *Manager) EnqueueBatch(streamName string, recs []Record) error {
+	return m.EnqueueBatchContext(context.Background(), streamName, recs)
+}
+
+// EnqueueContext is Enqueue honoring ctx: see EnqueueBatchContext.
+func (m *Manager) EnqueueContext(ctx context.Context, streamName string, r Record) error {
+	return m.EnqueueBatchContext(ctx, streamName, []Record{r})
+}
+
+// EnqueueBatchContext is EnqueueBatch bounded by ctx — the shape an
+// ingest endpoint needs, so a caller that hung up no longer pins a
+// handler goroutine against a full queue. Under Block, a send that
+// would wait unblocks when ctx is done and returns ctx.Err(); under
+// DropOldest, cancellation is checked between eviction attempts. A
+// ctx that is already done is refused before any queue interaction.
+// Cancellation never un-enqueues: once EnqueueBatchContext returns
+// nil the batch is owned by the pipeline and will be processed (or
+// dropped and counted, under DropOldest) regardless of ctx.
+func (m *Manager) EnqueueBatchContext(ctx context.Context, streamName string, recs []Record) error {
 	if m.pipe == nil {
 		return ErrNotPipelined
 	}
 	if len(recs) == 0 {
 		return nil
 	}
-	return m.pipe.enqueue(m.shardIndex(streamName), pipeJob{stream: streamName, recs: recs})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.pipe.enqueue(ctx, m.shardIndex(streamName), pipeJob{stream: streamName, recs: recs})
 }
 
 // Drain blocks until every record enqueued before the call has been
@@ -336,6 +369,9 @@ type ShardStats struct {
 	Shard int `json:"shard"`
 	// Streams is the number of live streams on the shard.
 	Streams int `json:"streams"`
+	// Quarantined is the number of the shard's streams currently
+	// quarantined after a contained panic (see ErrStreamQuarantined).
+	Quarantined int `json:"quarantined,omitempty"`
 	// Records counts records fed through detection on this shard,
 	// from every path (Feed, FeedBatch, pipeline workers).
 	Records uint64 `json:"records"`
@@ -352,6 +388,10 @@ type ShardStats struct {
 type ManagerStats struct {
 	// Streams is the number of live streams.
 	Streams int `json:"streams"`
+	// Quarantined is the number of streams currently quarantined
+	// after a contained panic (see ErrStreamQuarantined); quarantined
+	// streams still count in Streams until Reopen retires them.
+	Quarantined int `json:"quarantined,omitempty"`
 	// Pipelined reports whether WithPipeline is active.
 	Pipelined bool `json:"pipelined"`
 	// Policy is the configured backpressure policy ("" when not
@@ -383,6 +423,11 @@ func (m *Manager) Stats() ManagerStats {
 			Records:   sh.records,
 			Anomalies: sh.anomalies,
 		}
+		for _, ms := range sh.streams {
+			if ms.quarantined {
+				ss.Quarantined++
+			}
+		}
 		sh.mu.Unlock()
 		if m.pipe != nil {
 			ps := &m.pipe.shards[i]
@@ -404,6 +449,7 @@ func (m *Manager) Stats() ManagerStats {
 			out.Failed += pstats.Failed
 		}
 		out.Streams += ss.Streams
+		out.Quarantined += ss.Quarantined
 		out.Records += ss.Records
 		out.Anomalies += ss.Anomalies
 		out.Shards[i] = ss

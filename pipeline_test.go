@@ -1,6 +1,7 @@
 package tiresias
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -235,7 +236,7 @@ func TestDropOldestAccuracy(t *testing.T) {
 	p.shards[0].ch = make(chan pipeJob, depth) // no worker: queue is inert
 	base := start()
 	for i := 0; i < total; i++ {
-		err := p.enqueue(0, pipeJob{stream: "s", recs: []Record{{Path: []string{"pop"}, Time: base.Add(time.Duration(i) * time.Minute)}}})
+		err := p.enqueue(context.Background(), 0, pipeJob{stream: "s", recs: []Record{{Path: []string{"pop"}, Time: base.Add(time.Duration(i) * time.Minute)}}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,13 +267,13 @@ func TestErrorWhenFullAccuracy(t *testing.T) {
 	job := func() pipeJob {
 		return pipeJob{stream: "s", recs: []Record{{Path: []string{"pop"}, Time: start()}}}
 	}
-	if err := p.enqueue(0, job()); err != nil {
+	if err := p.enqueue(context.Background(), 0, job()); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.enqueue(0, job()); err != nil {
+	if err := p.enqueue(context.Background(), 0, job()); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.enqueue(0, job()); !errors.Is(err, ErrQueueFull) {
+	if err := p.enqueue(context.Background(), 0, job()); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("full queue = %v, want ErrQueueFull", err)
 	}
 	ps := &p.shards[0]
