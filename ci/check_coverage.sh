@@ -3,7 +3,9 @@
 #
 # Fails (exit 1) when the total statement coverage of the given Go
 # cover profile is below THRESHOLD percent (default 80). Used by the
-# CI coverage job on the root tiresias package.
+# CI coverage job on the pooled profile of the root tiresias package
+# and the detection-quality packages (internal/scenario, internal/gen,
+# internal/evalx).
 #
 # Generated code and testdata fixtures are not coverage targets:
 # their profile lines are stripped before totaling, so analyzer

@@ -330,3 +330,46 @@ func TestShortWarmupKeepsClockHonest(t *testing.T) {
 		t.Fatalf("UnitStart = %v, want %v (short warmup must not skew the clock)", sr.UnitStart, want)
 	}
 }
+
+// TestConfiguredSmoothingHonoredWithoutSeasonality is the regression
+// test for the forecaster-plumbing bug: with no seasonal period the
+// factory returned DefaultFactory's fixed EWMA(0.5) and silently
+// discarded the α configured via WithHoltWinters. A 0.5-smoothing
+// model absorbs a sustained anomaly after its first unit (one update
+// moves the forecast halfway to the spike, past actual/RT), so
+// detection of multi-unit incidents collapsed to onset-only. With the
+// configured slow smoothing the spike must stay flagged across all
+// four units.
+func TestConfiguredSmoothingHonoredWithoutSeasonality(t *testing.T) {
+	tr, err := New(
+		WithWindowLen(12), WithTheta(0.5),
+		WithThresholds(Thresholds{RT: 2.8, DT: 8}),
+		WithHoltWinters(0.1, 0.02, 0.05),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hierarchy.KeyOf([]string{"a"})
+	units := make([]Timeunit, 12)
+	for i := range units {
+		units[i] = Timeunit{key: 12}
+	}
+	if err := tr.Warmup(units, start()); err != nil {
+		t.Fatal(err)
+	}
+	for unit := 0; unit < 4; unit++ {
+		sr, err := tr.ProcessUnit(Timeunit{key: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, a := range sr.Anomalies {
+			if a.Key == key {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("spike unit %d not flagged: the configured α=0.1 was not honored", unit)
+		}
+	}
+}

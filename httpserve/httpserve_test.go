@@ -721,3 +721,155 @@ delivered:
 		}
 	}
 }
+
+// sseFrame is one SSE frame including comment lines, which readSSE
+// drops; the eviction tests need them because missed accounting and
+// the replay/live boundary are reported as comments.
+type sseFrame struct {
+	name, data, comment string
+}
+
+// readSSEFrames parses SSE frames from r, surfacing comment lines as
+// their own frames alongside id/event/data frames.
+func readSSEFrames(r io.Reader) <-chan sseFrame {
+	out := make(chan sseFrame, 64)
+	go func() {
+		defer close(out)
+		sc := bufio.NewScanner(r)
+		var fr sseFrame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if fr != (sseFrame{}) {
+					out <- fr
+				}
+				fr = sseFrame{}
+			case strings.HasPrefix(line, ": "):
+				fr.comment = line[2:]
+			case strings.HasPrefix(line, "event: "):
+				fr.name = line[7:]
+			case strings.HasPrefix(line, "data: "):
+				fr.data = line[6:]
+			}
+		}
+	}()
+	return out
+}
+
+// TestWatchResumeAcrossEvictionMidFlood reconnects a watch with a
+// cursor that a flood of ingests has meanwhile pushed past the ring's
+// eviction horizon. The replay must surface the gap as an exact
+// `missed=N` comment (N = oldest−1−cursor; seqs are contiguous so the
+// count is precise, not an estimate), restart at the horizon, deliver
+// every retained entry exactly once in order, and then hand over to
+// the live phase — with no cursor_reset, since the epoch still
+// matches.
+func TestWatchResumeAcrossEvictionMidFlood(t *testing.T) {
+	cfg := testConfig()
+	cfg.IndexCap = 4
+	_, ts := newTestServer(t, cfg)
+
+	burst := func(minute int) string {
+		at := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC).Add(time.Duration(minute) * time.Minute)
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			fmt.Fprintf(&b, `{"stream":"ccd","path":["vho1","io2"],"time":%q}`+"\n", at.Format(time.RFC3339))
+		}
+		fmt.Fprintf(&b, `{"stream":"ccd","path":["vho1","io2"],"time":%q}`+"\n", at.Add(time.Minute).Format(time.RFC3339))
+		return b.String()
+	}
+
+	// First burst, then learn the earliest entry's cursor while it is
+	// still retained.
+	var ing api.IngestResponse
+	post(t, ts.URL+"/v2/records", "application/x-ndjson", ndjsonBody("ccd", 30), &ing)
+	if len(ing.Anomalies) == 0 {
+		t.Fatal("first burst produced no anomalies")
+	}
+	resp := get(t, ts.URL+"/v2/anomalies?limit=1", nil)
+	var page api.AnomaliesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	first := page.Entries[0].Seq
+
+	// Flood: further bursts until the capacity-4 ring has evicted the
+	// cursor entry.
+	for m := 32; m <= 44; m += 2 {
+		post(t, ts.URL+"/v2/records", "application/x-ndjson", burst(m), nil)
+	}
+	var st api.StatsResponse
+	get(t, ts.URL+"/v2/stats", &st)
+	if st.Index.OldestSeq <= first {
+		t.Fatalf("flood did not evict the cursor: oldest %d, cursor %d", st.Index.OldestSeq, first)
+	}
+	wantMissed := st.Index.OldestSeq - 1 - first
+	newest := st.Index.Added
+
+	// Reconnect with the stale cursor.
+	req, _ := http.NewRequest("GET", ts.URL+"/v2/anomalies/watch?cursor="+api.Cursor(st.Index.Epoch, first), nil)
+	wresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+
+	frames := readSSEFrames(wresp.Body)
+	deadline := time.After(5 * time.Second)
+	var gotMissed string
+	var seqs []uint64
+	seen := make(map[uint64]bool)
+live:
+	for {
+		select {
+		case fr, ok := <-frames:
+			if !ok {
+				t.Fatal("stream ended before the live boundary")
+			}
+			switch {
+			case strings.HasPrefix(fr.comment, "missed="):
+				gotMissed = fr.comment
+			case fr.comment == "cursor_reset":
+				t.Fatal("matching epoch must not trigger cursor_reset")
+			case fr.comment == "live":
+				break live
+			case fr.name == api.EventAnomaly:
+				var e tiresias.AnomalyEntry
+				if err := json.Unmarshal([]byte(fr.data), &e); err != nil {
+					t.Fatal(err)
+				}
+				if seen[e.Seq] {
+					t.Fatalf("duplicate seq %d in replay", e.Seq)
+				}
+				seen[e.Seq] = true
+				seqs = append(seqs, e.Seq)
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the live boundary")
+		}
+	}
+
+	want := fmt.Sprintf("missed=%d evicted before cursor", wantMissed)
+	if gotMissed != want {
+		t.Fatalf("missed comment = %q, want %q", gotMissed, want)
+	}
+	// The replay restarts at the horizon and covers every retained
+	// entry in order: first delivered + missed == the gap from the
+	// cursor, and the last delivered is the newest entry.
+	if len(seqs) == 0 || seqs[0] != st.Index.OldestSeq {
+		t.Fatalf("replay started at %v, want horizon seq %d", seqs, st.Index.OldestSeq)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("replay gap: %d -> %d", seqs[i-1], seqs[i])
+		}
+	}
+	if last := seqs[len(seqs)-1]; last != newest {
+		t.Fatalf("replay ended at seq %d, want newest %d", last, newest)
+	}
+	if first+wantMissed+uint64(len(seqs)) != newest {
+		t.Fatalf("cursor %d + missed %d + delivered %d != newest %d",
+			first, wantMissed, len(seqs), newest)
+	}
+}

@@ -70,8 +70,16 @@ type ForecasterFactory func(history []float64) forecast.Linear
 
 // DefaultFactory returns an EWMA(α=0.5) factory.
 func DefaultFactory() ForecasterFactory {
+	return EWMAFactory(0.5)
+}
+
+// EWMAFactory returns a factory producing EWMA(alpha) models — the
+// no-seasonality forecaster. Callers that expose a configurable
+// smoothing constant should prefer this over DefaultFactory so the
+// configured α is honored on the non-seasonal path too.
+func EWMAFactory(alpha float64) ForecasterFactory {
 	return func(history []float64) forecast.Linear {
-		return forecast.NewEWMA(0.5, history...)
+		return forecast.NewEWMA(alpha, history...)
 	}
 }
 

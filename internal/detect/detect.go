@@ -43,8 +43,16 @@ func (t Thresholds) Validate() error {
 
 // Exceeds applies Definition 4 to one (actual, forecast) pair. A
 // non-positive forecast with a positive actual counts as an unbounded
-// ratio, subject to the absolute test.
+// ratio, subject to the absolute test. Count series are nonnegative,
+// so a forecast below zero (a Holt-Winters level+trend overshoot on a
+// quiet node) is floored at zero first: the model is saying "expect
+// nothing", and the absolute excess is measured against nothing —
+// not against the impossible negative prediction, which would let
+// ordinary noise on a quiet node clear DT on overshoot alone.
 func (t Thresholds) Exceeds(actual, fc float64) bool {
+	if fc < 0 {
+		fc = 0
+	}
 	if actual-fc <= t.DT {
 		return false
 	}

@@ -47,6 +47,24 @@ func TestExceedsRequiresBothConditions(t *testing.T) {
 	}
 }
 
+// TestExceedsFloorsNegativeForecast is the regression test for the
+// negative-forecast bug: a Holt-Winters level+trend overshoot on a
+// quiet node can predict below zero, and measuring the absolute
+// excess against the impossible negative value let ordinary noise
+// clear DT (actual 7 - forecast -6.9 = 13.9 > 8) and fire persistent
+// false positives. Count series are nonnegative, so the forecast is
+// floored at zero before the absolute test.
+func TestExceedsFloorsNegativeForecast(t *testing.T) {
+	th := Thresholds{RT: 2.8, DT: 8}
+	if th.Exceeds(7, -6.9) {
+		t.Fatal("noise over a negative forecast must not alarm: the excess over zero is only 7")
+	}
+	// A genuine excursion above DT still fires against the floor.
+	if !th.Exceeds(9, -6.9) {
+		t.Fatal("actual 9 over floored forecast 0 exceeds DT and must alarm")
+	}
+}
+
 func TestExceedsRatioOnlyCase(t *testing.T) {
 	// High ratio but small absolute difference (the "dip time"
 	// false-positive Definition 4 suppresses).

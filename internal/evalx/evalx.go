@@ -49,6 +49,17 @@ func (c Confusion) Recall() float64 {
 	return float64(c.TP) / float64(c.TP+c.FN)
 }
 
+// F1 returns the harmonic mean of precision and recall, 0 when either
+// is undefined — the single-number summary the accuracy gate ranks
+// scenarios by.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
 // Compare scores predicted events against ground truth over a given
 // candidate universe (every (heavy hitter, instance) pair that was
 // screened). Events outside the universe are ignored.

@@ -193,6 +193,25 @@ func pow2(x float64) float64 { return math.Exp2(x) }
 // Key returns the anomaly's category key.
 func (a AnomalySpec) Key() hierarchy.Key { return hierarchy.KeyOf(a.Path) }
 
+// ChurnSpec retires or births a subtree of leaves mid-run — the
+// hierarchy cardinality churn of operational data, where DSLAMs are
+// deployed and decommissioned while the detector runs. Leaves under
+// Path emit baseline traffic only in units [BornUnit, DieUnit); the
+// displaced probability mass is renormalized over the remaining
+// active leaves, so a birth or death shifts every other leaf's rate
+// — the adversarial part. When several specs cover the same leaf,
+// the last one in Config.Churn wins.
+type ChurnSpec struct {
+	// Path locates the churned subtree (may be a single leaf).
+	Path []string `json:"path"`
+	// BornUnit is the first unit (inclusive) the subtree emits;
+	// 0 means active from the start.
+	BornUnit int `json:"bornUnit"`
+	// DieUnit is the unit (exclusive) the subtree stops emitting;
+	// <= 0 means it never dies.
+	DieUnit int `json:"dieUnit"`
+}
+
 // Config parameterizes a synthetic dataset.
 type Config struct {
 	// Shape is the category hierarchy to populate.
@@ -214,11 +233,17 @@ type Config struct {
 	DiurnalStrength float64
 	// WeeklyStrength in [0,1) scales the weekend dip.
 	WeeklyStrength float64
+	// TrendPerUnit drifts the base rate linearly: unit u runs at
+	// BaseRate·(1 + TrendPerUnit·u), floored at zero. Seasonal
+	// forecasting must absorb the drift without flagging it.
+	TrendPerUnit float64
 	// ZipfS is the popularity skew across leaves (s=0 uniform; the
 	// operational data of Fig. 1 resembles s ≈ 1).
 	ZipfS float64
 	// Anomalies are injected on top of the seasonal baseline.
 	Anomalies []AnomalySpec
+	// Churn births and retires leaf subtrees mid-run.
+	Churn []ChurnSpec
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -254,6 +279,14 @@ func (c *Config) Validate() error {
 		}
 		if a.ExtraPerUnit <= 0 {
 			return fmt.Errorf("gen: anomaly %d rate %v <= 0", i, a.ExtraPerUnit)
+		}
+	}
+	for i, ch := range c.Churn {
+		if ch.BornUnit < 0 || ch.BornUnit >= c.Units {
+			return fmt.Errorf("gen: churn %d born unit %d out of [0,%d)", i, ch.BornUnit, c.Units)
+		}
+		if ch.DieUnit > 0 && ch.DieUnit <= ch.BornUnit {
+			return fmt.Errorf("gen: churn %d dies at %d before born at %d", i, ch.DieUnit, ch.BornUnit)
 		}
 	}
 	return nil
@@ -313,17 +346,27 @@ func Generate(cfg Config) (*Dataset, error) {
 		}
 	}
 
+	churn := newChurnState(cfg, leaves)
+
 	ds := &Dataset{Truth: cfg.Anomalies, Leaves: leaves, Config: cfg}
 	for u := 0; u < cfg.Units; u++ {
+		unitCum, active := churn.at(u, weights, cum)
 		unitStart := cfg.Start.Add(time.Duration(u) * cfg.Delta)
 		lambda := cfg.BaseRate * Profile(unitStart, cfg.DiurnalStrength, cfg.WeeklyStrength)
-		n := poisson(rng, lambda)
-		for i := 0; i < n; i++ {
-			leaf := leaves[pick(cum, rng.Float64())]
-			ds.Records = append(ds.Records, stream.Record{
-				Path: leaf,
-				Time: unitStart.Add(time.Duration(rng.Float64() * float64(cfg.Delta))),
-			})
+		if trend := 1 + cfg.TrendPerUnit*float64(u); trend > 0 {
+			lambda *= trend
+		} else {
+			lambda = 0
+		}
+		if active {
+			n := poisson(rng, lambda)
+			for i := 0; i < n; i++ {
+				leaf := leaves[pick(unitCum, rng.Float64())]
+				ds.Records = append(ds.Records, stream.Record{
+					Path: leaf,
+					Time: unitStart.Add(time.Duration(rng.Float64() * float64(cfg.Delta))),
+				})
+			}
 		}
 		for ai, a := range cfg.Anomalies {
 			rate := a.RateAt(u)
@@ -331,7 +374,7 @@ func Generate(cfg Config) (*Dataset, error) {
 				continue
 			}
 			extra := poisson(rng, rate)
-			pool := anomalyLeaves[ai]
+			pool := churn.pool(u, anomalyLeaves[ai])
 			for i := 0; i < extra; i++ {
 				leaf := leaves[pool[rng.Intn(len(pool))]]
 				ds.Records = append(ds.Records, stream.Record{
@@ -471,6 +514,185 @@ func poisson(rng *rand.Rand, lambda float64) int {
 		}
 		k++
 	}
+}
+
+// churnState tracks which leaves are active per unit and lazily
+// rebuilds the masked cumulative distribution when the active set
+// changes — only scenarios with Config.Churn pay for it.
+type churnState struct {
+	// born[j]/die[j] bound leaf j's activity window ([0, units) when
+	// no churn spec covers it).
+	born, die []int
+	// cum is the masked cumulative distribution of the current
+	// activity epoch; cumAt is the unit it was built for (-1 = never).
+	cum   []float64
+	cumAt int
+	// boundaries marks units at which some leaf's activity flips.
+	boundaries map[int]bool
+	active     bool // some leaf is active in the current epoch
+}
+
+// newChurnState indexes cfg.Churn over the leaves; nil when the
+// config has no churn (the common fast path).
+func newChurnState(cfg Config, leaves [][]string) *churnState {
+	if len(cfg.Churn) == 0 {
+		return nil
+	}
+	s := &churnState{
+		born:       make([]int, len(leaves)),
+		die:        make([]int, len(leaves)),
+		cumAt:      -1,
+		boundaries: map[int]bool{0: true},
+	}
+	for j := range leaves {
+		s.die[j] = cfg.Units
+	}
+	for _, ch := range cfg.Churn {
+		k := hierarchy.KeyOf(ch.Path)
+		for j, leaf := range leaves {
+			if !k.IsAncestorOf(hierarchy.KeyOf(leaf)) {
+				continue
+			}
+			s.born[j] = ch.BornUnit
+			if ch.DieUnit > 0 {
+				s.die[j] = ch.DieUnit
+			} else {
+				s.die[j] = cfg.Units
+			}
+		}
+	}
+	for j := range leaves {
+		s.boundaries[s.born[j]] = true
+		s.boundaries[s.die[j]] = true
+	}
+	return s
+}
+
+// at returns the cumulative distribution to sample baseline leaves
+// from at unit u, and whether any leaf is active. A nil receiver (no
+// churn) passes the precomputed distribution through.
+func (s *churnState) at(u int, weights, cum []float64) ([]float64, bool) {
+	if s == nil {
+		return cum, true
+	}
+	if s.cumAt >= 0 && !s.boundaries[u] {
+		return s.cum, s.active
+	}
+	masked := make([]float64, len(weights))
+	s.active = false
+	for j, w := range weights {
+		if s.born[j] <= u && u < s.die[j] {
+			masked[j] = w
+			s.active = true
+		}
+	}
+	s.cum = cumulative(masked)
+	s.cumAt = u
+	return s.cum, s.active
+}
+
+// pool restricts an anomaly's leaf pool to the leaves active at unit
+// u, falling back to the full pool when the anomaly targets an
+// entirely inactive subtree (the injection still happens — a burst on
+// a retired node is itself anomalous).
+func (s *churnState) pool(u int, full []int) []int {
+	if s == nil {
+		return full
+	}
+	var alive []int
+	for _, j := range full {
+		if s.born[j] <= u && u < s.die[j] {
+			alive = append(alive, j)
+		}
+	}
+	if len(alive) == 0 {
+		return full
+	}
+	return alive
+}
+
+// NewRand returns the canonical deterministic source for a seed: every
+// generator and scenario transform draws from an explicitly seeded
+// *rand.Rand like this one, never from the global source, so a seed
+// pins the full workload byte-for-byte.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// unitIndex places a record time on the unit grid anchored at start.
+func unitIndex(at, start time.Time, delta time.Duration) int {
+	return int(at.Sub(start) / delta)
+}
+
+// DuplicateUnder inserts extra copies of every record under path in
+// units [startUnit, endUnit) — a duplicate flood, the count inflation
+// produced by a retrying upstream. Each duplicate is emitted
+// immediately after its original at the identical timestamp, so the
+// result stays in time order. Returns the new slice and the number of
+// duplicates inserted.
+func DuplicateUnder(recs []stream.Record, path []string, start time.Time, delta time.Duration, startUnit, endUnit, times int) ([]stream.Record, int) {
+	if times <= 0 {
+		return recs, 0
+	}
+	k := hierarchy.KeyOf(path)
+	out := make([]stream.Record, 0, len(recs))
+	dups := 0
+	for _, r := range recs {
+		out = append(out, r)
+		u := unitIndex(r.Time, start, delta)
+		if u < startUnit || u >= endUnit || !k.IsAncestorOf(hierarchy.KeyOf(r.Path)) {
+			continue
+		}
+		for i := 0; i < times; i++ {
+			out = append(out, r)
+		}
+		dups += times
+	}
+	return out, dups
+}
+
+// ShuffleWithinUnits permutes the arrival order of records inside each
+// timeunit, leaving cross-unit order intact: legal but adversarial
+// input for ingest paths, since within a unit the windower accepts any
+// order. All randomness comes from the supplied rng.
+func ShuffleWithinUnits(rng *rand.Rand, recs []stream.Record, start time.Time, delta time.Duration) {
+	lo := 0
+	for lo < len(recs) {
+		u := unitIndex(recs[lo].Time, start, delta)
+		hi := lo + 1
+		for hi < len(recs) && unitIndex(recs[hi].Time, start, delta) == u {
+			hi++
+		}
+		rng.Shuffle(hi-lo, func(i, j int) {
+			recs[lo+i], recs[lo+j] = recs[lo+j], recs[lo+i]
+		})
+		lo = hi
+	}
+}
+
+// DisplaceAcrossBoundaries moves up to n records one position across
+// their following unit boundary: the last record of a unit arrives
+// just after the first record of the next, so a windower that already
+// advanced rejects it as out-of-order. This makes genuine
+// out-of-order input (not just intra-unit shuffle) deterministically,
+// for testing rejection accounting; returns how many records were
+// displaced. Boundaries are chosen from rng.
+func DisplaceAcrossBoundaries(rng *rand.Rand, recs []stream.Record, start time.Time, delta time.Duration, n int) int {
+	var bounds []int // index of the first record of each unit (> 0)
+	for i := 1; i < len(recs); i++ {
+		if unitIndex(recs[i].Time, start, delta) != unitIndex(recs[i-1].Time, start, delta) {
+			bounds = append(bounds, i)
+		}
+	}
+	if len(bounds) == 0 || n <= 0 {
+		return 0
+	}
+	rng.Shuffle(len(bounds), func(i, j int) { bounds[i], bounds[j] = bounds[j], bounds[i] })
+	if n > len(bounds) {
+		n = len(bounds)
+	}
+	for _, b := range bounds[:n] {
+		recs[b-1], recs[b] = recs[b], recs[b-1]
+	}
+	return n
 }
 
 // FirstLevelDistribution tallies the share of records per first-level

@@ -283,7 +283,7 @@ func TestPoissonMoments(t *testing.T) {
 		se := math.Sqrt(lambda / float64(n))
 		return math.Abs(mean-lambda) < 5*se+0.5
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -317,5 +317,226 @@ func TestDatasetFeedsStream(t *testing.T) {
 	}
 	if int(total) != len(d.Records) {
 		t.Fatalf("collected %v records, generated %d", total, len(d.Records))
+	}
+}
+
+func TestChurnRetiresAndBirthsLeaves(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Churn = []ChurnSpec{
+		{Path: []string{"a0"}, BornUnit: 0, DieUnit: 40}, // dies mid-run
+		{Path: []string{"a1", "b0"}, BornUnit: 50},       // born mid-run
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := hierarchy.KeyOf([]string{"a0"})
+	unborn := hierarchy.KeyOf([]string{"a1", "b0"})
+	for _, r := range d.Records {
+		u := int(r.Time.Sub(cfg.Start) / cfg.Delta)
+		k := hierarchy.KeyOf(r.Path)
+		if u >= 40 && dead.IsAncestorOf(k) {
+			t.Fatalf("record under retired a0 at unit %d", u)
+		}
+		if u < 50 && unborn.IsAncestorOf(k) {
+			t.Fatalf("record under unborn a1/b0 at unit %d", u)
+		}
+	}
+	// Mass is renormalized, not dropped: the overall rate stays near
+	// the no-churn rate.
+	base, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(d.Records)) / float64(len(base.Records))
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("churned/unchurned record ratio = %v, want ~1 (renormalized mass)", ratio)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Churn = []ChurnSpec{{Path: []string{"a0"}, BornUnit: -1}}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("negative born unit must fail validation")
+	}
+	cfg.Churn = []ChurnSpec{{Path: []string{"a0"}, BornUnit: 10, DieUnit: 5}}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("die before born must fail validation")
+	}
+}
+
+func TestChurnedAnomalyPoolFallsBack(t *testing.T) {
+	// Anomaly targets a subtree retired before the anomaly starts: the
+	// injection must still happen (on the full pool), not be dropped.
+	cfg := smallConfig()
+	cfg.Churn = []ChurnSpec{{Path: []string{"a0"}, BornUnit: 0, DieUnit: 10}}
+	cfg.Anomalies = []AnomalySpec{{Path: []string{"a0"}, StartUnit: 60, EndUnit: 70, ExtraPerUnit: 50}}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	under := hierarchy.KeyOf([]string{"a0"})
+	for _, r := range d.Records {
+		u := int(r.Time.Sub(cfg.Start) / cfg.Delta)
+		if u >= 60 && u < 70 && under.IsAncestorOf(hierarchy.KeyOf(r.Path)) {
+			injected++
+		}
+	}
+	if injected < 100 {
+		t.Fatalf("retired-subtree anomaly injected only %d records, want hundreds", injected)
+	}
+}
+
+func TestTrendPerUnit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DiurnalStrength, cfg.WeeklyStrength = 0, 0
+	cfg.TrendPerUnit = 0.02 // ~2.9x rate by the last of 96 units
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf, secondHalf := 0, 0
+	for _, r := range d.Records {
+		if int(r.Time.Sub(cfg.Start)/cfg.Delta) < cfg.Units/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if secondHalf <= firstHalf {
+		t.Fatalf("positive trend: second half %d must exceed first half %d", secondHalf, firstHalf)
+	}
+	// A steep negative trend floors at zero instead of going negative.
+	cfg.TrendPerUnit = -0.05 // zero from unit 20 on
+	d, err = Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Records {
+		if u := int(r.Time.Sub(cfg.Start) / cfg.Delta); u >= 21 {
+			t.Fatalf("record at unit %d after the trend floored the rate at zero", u)
+		}
+	}
+}
+
+func TestDuplicateUnder(t *testing.T) {
+	cfg := smallConfig()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, dups := DuplicateUnder(d.Records, []string{"a0"}, cfg.Start, cfg.Delta, 10, 20, 2)
+	if dups == 0 {
+		t.Fatal("no duplicates inserted")
+	}
+	if len(out) != len(d.Records)+dups {
+		t.Fatalf("len(out) = %d, want %d + %d", len(out), len(d.Records), dups)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Fatalf("duplicate flood broke time order at %d", i)
+		}
+	}
+	under := hierarchy.KeyOf([]string{"a0"})
+	originals := 0
+	for _, r := range d.Records {
+		u := int(r.Time.Sub(cfg.Start) / cfg.Delta)
+		if u >= 10 && u < 20 && under.IsAncestorOf(hierarchy.KeyOf(r.Path)) {
+			originals++
+		}
+	}
+	if dups != 2*originals {
+		t.Fatalf("dups = %d, want 2x the %d originals in span", dups, originals)
+	}
+}
+
+func TestShuffleWithinUnitsPreservesUnitMembership(t *testing.T) {
+	cfg := smallConfig()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int]int)
+	for _, r := range d.Records {
+		before[int(r.Time.Sub(cfg.Start)/cfg.Delta)]++
+	}
+	shuffled := append([]stream.Record(nil), d.Records...)
+	ShuffleWithinUnits(NewRand(7), shuffled, cfg.Start, cfg.Delta)
+	// Unit membership unchanged; cross-unit order unchanged.
+	prevUnit := -1
+	after := make(map[int]int)
+	for _, r := range shuffled {
+		u := int(r.Time.Sub(cfg.Start) / cfg.Delta)
+		if u < prevUnit {
+			t.Fatalf("shuffle crossed a unit boundary: unit %d after %d", u, prevUnit)
+		}
+		prevUnit = u
+		after[u]++
+	}
+	for u, n := range before {
+		if after[u] != n {
+			t.Fatalf("unit %d count changed %d -> %d", u, n, after[u])
+		}
+	}
+	// And it actually permuted something.
+	moved := false
+	for i := range shuffled {
+		if !shuffled[i].Time.Equal(d.Records[i].Time) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("shuffle was a no-op")
+	}
+}
+
+func TestDisplaceAcrossBoundaries(t *testing.T) {
+	cfg := smallConfig()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := append([]stream.Record(nil), d.Records...)
+	n := DisplaceAcrossBoundaries(NewRand(3), recs, cfg.Start, cfg.Delta, 5)
+	if n != 5 {
+		t.Fatalf("displaced %d, want 5", n)
+	}
+	// Exactly n adjacent pairs are now out of time order.
+	inversions := 0
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			inversions++
+		}
+	}
+	if inversions != n {
+		t.Fatalf("inversions = %d, want %d", inversions, n)
+	}
+}
+
+func TestGenerateDeterministicWithTransforms(t *testing.T) {
+	mk := func() []stream.Record {
+		cfg := smallConfig()
+		cfg.Churn = []ChurnSpec{{Path: []string{"a2"}, BornUnit: 30}}
+		cfg.TrendPerUnit = 0.001
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := DuplicateUnder(d.Records, []string{"a0"}, cfg.Start, cfg.Delta, 10, 20, 1)
+		ShuffleWithinUnits(NewRand(11), recs, cfg.Start, cfg.Delta)
+		DisplaceAcrossBoundaries(NewRand(12), recs, cfg.Start, cfg.Delta, 3)
+		return recs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || hierarchy.KeyOf(a[i].Path) != hierarchy.KeyOf(b[i].Path) {
+			t.Fatalf("records differ at %d: %v vs %v", i, a[i], b[i])
+		}
 	}
 }

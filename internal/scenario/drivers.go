@@ -1,0 +1,257 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+
+	"tiresias"
+	"tiresias/api"
+	"tiresias/client"
+	"tiresias/httpserve"
+)
+
+// ingestChunk is the batch size the Manager and wire drivers feed in:
+// large enough to exercise the batch paths, small enough that one
+// adversarial record cannot shadow a whole stream.
+const ingestChunk = 512
+
+// DetectorOptions returns the per-stream detector configuration of
+// the scenario's operating point. Holt-Winters smoothing is slowed
+// well below the interactive default (0.4): a forecaster that adapts
+// 40% per unit absorbs a multi-unit incident after its first unit and
+// recall collapses — the scenarios score sustained detection, not
+// just onset detection.
+func (s *Scenario) DetectorOptions() []tiresias.Option {
+	opts := []tiresias.Option{
+		tiresias.WithDelta(s.Delta()),
+		tiresias.WithWindowLen(s.WindowLen),
+		tiresias.WithTheta(s.Theta),
+		tiresias.WithThresholds(s.Thresholds),
+		tiresias.WithHoltWinters(0.1, 0.02, 0.05),
+	}
+	// A fixed period imposed on a non-seasonal workload makes the
+	// seasonal indices fit warmup noise — recurring phantom dips in
+	// the forecast that fire period-spaced false positives. Scenarios
+	// without a declared period rely on the Step-3 automatic analysis
+	// instead, which correctly finds nothing on flat baselines.
+	if s.SeasonalPeriod > 0 {
+		opts = append(opts, tiresias.WithSeasonality(1.0, s.SeasonalPeriod))
+	}
+	return opts
+}
+
+// Detect drives the scenario through its configured stack layer and
+// returns the detected events, sorted and deduplicated.
+func (s *Scenario) Detect() ([]Event, error) {
+	switch s.Driver {
+	case DriverRun:
+		return s.DetectRun()
+	case DriverManager:
+		return s.DetectManager(false)
+	case DriverPipeline:
+		return s.DetectManager(true)
+	case DriverHTTP:
+		return s.DetectHTTP()
+	default:
+		return nil, fmt.Errorf("scenario: unknown driver %q", s.Driver)
+	}
+}
+
+// eventOf maps one detection to its scoring event: the anomaly's
+// wall-clock time is the start of its timeunit, so the unit index is
+// its offset from the scenario start in deltas.
+func (s *Scenario) eventOf(streamName string, a tiresias.Anomaly) Event {
+	return Event{
+		Stream: streamName,
+		Key:    a.Key,
+		Unit:   int(a.Time.Sub(s.Start()) / s.Delta()),
+	}
+}
+
+// finish sorts and deduplicates events into the canonical order the
+// scorecard and the equivalence tests compare.
+func finish(events []Event) []Event {
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		return a.Key < b.Key
+	})
+	out := events[:0]
+	for i, e := range events {
+		if i == 0 || e != events[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DetectRun drives every stream through the root incremental Run
+// loop, one detector per stream. NewSliceSource sorts by time, so
+// this layer sees a healed view of shuffled or displaced input — the
+// single-detector replay semantics.
+func (s *Scenario) DetectRun() ([]Event, error) {
+	var events []Event
+	for _, st := range s.Streams {
+		recs, err := st.Records()
+		if err != nil {
+			return nil, err
+		}
+		det, err := tiresias.New(s.DetectorOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := det.Run(context.Background(), tiresias.NewSliceSource(recs))
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range res.Anomalies {
+			events = append(events, s.eventOf(st.Name, a))
+		}
+	}
+	return finish(events), nil
+}
+
+// DetectManager drives every stream through one sharded Manager — the
+// synchronous FeedBatch path, or the pipelined Enqueue path under the
+// lossless Block policy. Both paths collect detections from an
+// attached AnomalyIndex, so what is compared across modes is exactly
+// what the serving layer would expose. Displaced (out-of-order)
+// records are skipped with the documented resume semantics: the sync
+// caller resumes past the offending record by the applied count, the
+// pipeline workers do the same internally.
+func (s *Scenario) DetectManager(pipelined bool) ([]Event, error) {
+	ix := tiresias.NewAnomalyIndex(1 << 16)
+	opts := []tiresias.ManagerOption{
+		tiresias.WithShards(4),
+		tiresias.WithDetectorOptions(s.DetectorOptions()...),
+		tiresias.WithAnomalyIndex(ix),
+	}
+	if pipelined {
+		opts = append(opts, tiresias.WithPipeline(64, tiresias.Block))
+	}
+	m, err := tiresias.NewManager(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	for _, st := range s.Streams {
+		recs, err := st.Records()
+		if err != nil {
+			return nil, err
+		}
+		for len(recs) > 0 {
+			n := len(recs)
+			if n > ingestChunk {
+				n = ingestChunk
+			}
+			chunk, rest := recs[:n], recs[n:]
+			if pipelined {
+				if err := m.EnqueueBatch(st.Name, chunk); err != nil {
+					return nil, err
+				}
+			} else {
+				// Resume past record-level rejects (displaced
+				// records), mirroring the pipeline workers.
+				for len(chunk) > 0 {
+					_, applied, err := m.FeedBatch(st.Name, chunk)
+					if err == nil {
+						break
+					}
+					chunk = chunk[applied+1:]
+				}
+			}
+			recs = rest
+		}
+	}
+	// Flush processes each stream's trailing partial unit (draining
+	// the pipeline first on a pipelined Manager), so both modes score
+	// the same set of completed units.
+	for _, st := range s.Streams {
+		if _, err := m.Flush(st.Name); err != nil {
+			return nil, err
+		}
+	}
+	var events []Event
+	for _, e := range ix.Query(tiresias.AnomalyQuery{}) {
+		events = append(events, s.eventOf(e.Stream, e.Anomaly))
+	}
+	return finish(events), nil
+}
+
+// DetectHTTP drives every stream through the full wire round-trip: a
+// real httpserve.Server over httptest, batch ingest through the typed
+// client, and scoring from the client's cursor-paginated anomaly
+// iterator — the end-to-end proof that the accuracy measured in
+// process survives the serving layer. The server runs synchronous
+// ingest so every detection is indexed when the ingest call returns.
+func (s *Scenario) DetectHTTP() ([]Event, error) {
+	srv, err := httpserve.New(httpserve.Config{
+		Delta:      s.Delta(),
+		WindowLen:  s.WindowLen,
+		Theta:      s.Theta,
+		Thresholds: s.Thresholds,
+		// The shared option set repeats the fields above with equal
+		// values; what matters is that the wire driver's detectors
+		// match the in-process drivers' exactly.
+		DetectorOptions: s.DetectorOptions(),
+		Shards:          4,
+		IndexCap:        1 << 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	for _, st := range s.Streams {
+		recs, err := st.Records()
+		if err != nil {
+			return nil, err
+		}
+		wire := make([]api.Record, len(recs))
+		for i, r := range recs {
+			wire[i] = api.Record{Stream: st.Name, Path: r.Path, Time: r.Time}
+		}
+		for len(wire) > 0 {
+			n := len(wire)
+			if n > ingestChunk {
+				n = ingestChunk
+			}
+			if _, err := c.IngestBatch(ctx, wire[:n]); err != nil {
+				return nil, err
+			}
+			wire = wire[n:]
+		}
+	}
+
+	var events []Event
+	q := client.AnomalyQuery{PageSize: 500}
+	for {
+		page, err := c.Page(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range page.Entries {
+			events = append(events, s.eventOf(e.Stream, e.Anomaly))
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	return finish(events), nil
+}

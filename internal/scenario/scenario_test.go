@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"tiresias/internal/hierarchy"
+)
+
+// TestSuiteScoresAboveFloor runs every scenario end to end through
+// its configured driver and asserts the detection quality the suite
+// exists to measure: no scenario may fall below an F1 floor that a
+// correct pipeline comfortably clears. The floor is deliberately far
+// from the committed baseline (the CI gate handles small regressions);
+// this test catches wholesale breakage like a driver that drops
+// records or a detector that stops firing.
+func TestSuiteScoresAboveFloor(t *testing.T) {
+	card, err := RunSuite(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(card.Scores) < 5 {
+		t.Fatalf("suite has %d scenarios, want >= 5", len(card.Scores))
+	}
+	drivers := make(map[string]bool)
+	for _, s := range card.Scores {
+		drivers[s.Driver] = true
+		if s.F1 < 0.7 {
+			t.Errorf("%s (driver %s): F1 = %.4f below floor 0.7 (TP=%d FP=%d FN=%d)",
+				s.Scenario, s.Driver, s.F1, s.TP, s.FP, s.FN)
+		}
+		if s.Truth == 0 {
+			t.Errorf("%s: no ground truth in the detectable range", s.Scenario)
+		}
+	}
+	for _, d := range []string{"run", "manager", "pipeline", "http"} {
+		if !drivers[d] {
+			t.Errorf("no scenario exercises the %s driver", d)
+		}
+	}
+}
+
+// TestPipelinedMatchesSyncAcrossScenarios is the mode-equivalence
+// table test: for every scenario, driving the same workload through
+// the Manager's synchronous FeedBatch path and through the pipelined
+// EnqueueBatch path under the lossless Block policy must surface the
+// identical set of anomalies. Per-stream order is preserved by the
+// pipeline's stream-to-worker sharding, so any divergence is a real
+// semantics bug, not scheduling noise.
+func TestPipelinedMatchesSyncAcrossScenarios(t *testing.T) {
+	for _, sc := range All(1) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			sync, err := sc.DetectManager(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			piped, err := sc.DetectManager(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sync) != len(piped) {
+				t.Fatalf("sync found %d events, pipelined %d", len(sync), len(piped))
+			}
+			for i := range sync {
+				if sync[i] != piped[i] {
+					t.Fatalf("event %d differs: sync %+v, pipelined %+v", i, sync[i], piped[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScorecardByteIdentical pins the reproducibility contract the
+// CLI documents: identical seeds must yield byte-identical scorecard
+// JSON across independent runs, with no timestamps, map ordering, or
+// float formatting drift.
+func TestScorecardByteIdentical(t *testing.T) {
+	a, err := RunSuite(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different scorecards:\n%s\nvs\n%s", ja, jb)
+	}
+	c, err := RunSuite(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ja, jc) {
+		t.Fatal("different seeds produced identical scorecards; the seed is not threaded through")
+	}
+}
+
+// TestByName covers lookup of each suite member and the error shape
+// for unknown names.
+func TestByName(t *testing.T) {
+	for _, sc := range All(1) {
+		got, err := ByName(sc.Name, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", sc.Name, err)
+		}
+		if got.Name != sc.Name {
+			t.Fatalf("ByName(%q) returned %q", sc.Name, got.Name)
+		}
+	}
+	if _, err := ByName("no-such-scenario", 1); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+// TestTruthClipping: ground truth must exclude units a detector
+// cannot flag — the warmup window and the final (possibly unflushed)
+// unit — while keeping everything in between.
+func TestTruthClipping(t *testing.T) {
+	sc, err := ByName("flash-crowd", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := sc.Streams[0].Gen.Units
+	for _, e := range sc.Truth() {
+		if e.Unit < sc.WindowLen {
+			t.Fatalf("truth event in warmup: %+v (WindowLen %d)", e, sc.WindowLen)
+		}
+		if e.Unit >= units-1 {
+			t.Fatalf("truth event in final partial unit: %+v (Units %d)", e, units)
+		}
+	}
+	if len(sc.Truth()) == 0 {
+		t.Fatal("flash-crowd must have detectable truth")
+	}
+}
+
+// TestScoreMatchingSemantics exercises the event-matching rules
+// directly: same-node hits, ancestor/descendant hits, and the three
+// miss dimensions (stream, unit, unrelated branch).
+func TestScoreMatchingSemantics(t *testing.T) {
+	sc, err := ByName("flash-crowd", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := sc.Truth()
+	if len(truth) == 0 {
+		t.Fatal("no truth")
+	}
+	tr := truth[0]
+
+	// Exact hit covers the truth event.
+	c := sc.Score([]Event{tr})
+	if c.TP != 1 || c.FP != 0 {
+		t.Fatalf("exact hit: TP=%d FP=%d, want 1/0", c.TP, c.FP)
+	}
+	if c.FN != len(truth)-coveredBy(sc, tr) {
+		t.Fatalf("exact hit: FN=%d, want %d", c.FN, len(truth)-coveredBy(sc, tr))
+	}
+
+	// A descendant of the truth node at the same unit also covers it.
+	child := Event{
+		Stream: tr.Stream,
+		Key:    hierarchy.KeyOf(append(tr.Key.Path(), "leafx")),
+		Unit:   tr.Unit,
+	}
+	if c := sc.Score([]Event{child}); c.TP != 1 {
+		t.Fatalf("descendant detection must cover truth, got TP=%d", c.TP)
+	}
+
+	// Wrong stream, wrong unit, or an unrelated branch are false
+	// positives covering nothing.
+	for name, d := range map[string]Event{
+		"wrong stream": {Stream: "other", Key: tr.Key, Unit: tr.Unit},
+		"wrong unit":   {Stream: tr.Stream, Key: tr.Key, Unit: tr.Unit + 1000},
+		"unrelated":    {Stream: tr.Stream, Key: hierarchy.KeyOf([]string{"zzz"}), Unit: tr.Unit},
+	} {
+		c := sc.Score([]Event{d})
+		if c.TP != 0 || c.FP != 1 {
+			t.Fatalf("%s: TP=%d FP=%d, want 0/1", name, c.TP, c.FP)
+		}
+	}
+
+	// Duplicate detections of one event count a single FP.
+	dup := Event{Stream: tr.Stream, Key: hierarchy.KeyOf([]string{"zzz"}), Unit: tr.Unit}
+	if c := sc.Score([]Event{dup, dup, dup}); c.FP != 1 {
+		t.Fatalf("duplicate unmatched detections: FP=%d, want 1", c.FP)
+	}
+}
+
+// coveredBy counts truth events the given detection covers (several
+// truth nodes can relate to one detection when spans overlap).
+func coveredBy(sc *Scenario, d Event) int {
+	n := 0
+	for _, t := range sc.Truth() {
+		if t.Stream == d.Stream && t.Unit == d.Unit &&
+			(t.Key.IsAncestorOf(d.Key) || d.Key.IsAncestorOf(t.Key)) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCompareGate covers the accuracy-regression gate: pass on equal
+// cards, fail beyond tolerance, ignore added/removed scenarios, and
+// refuse version mismatches.
+func TestCompareGate(t *testing.T) {
+	oldCard := &Scorecard{Version: ScorecardVersion, Seed: 1, Scores: []Score{
+		{Scenario: "a", F1: 0.9},
+		{Scenario: "b", F1: 0.8},
+		{Scenario: "gone", F1: 0.5},
+	}}
+	newCard := &Scorecard{Version: ScorecardVersion, Seed: 1, Scores: []Score{
+		{Scenario: "a", F1: 0.88}, // within tolerance
+		{Scenario: "b", F1: 0.6},  // regression
+		{Scenario: "new", F1: 0.3},
+	}}
+	lines, ok := Compare(oldCard, newCard, 0.05)
+	if ok {
+		t.Fatal("0.2 F1 drop beyond 0.05 tolerance must fail the gate")
+	}
+	if len(lines) != 4 {
+		t.Fatalf("want 4 report lines (a, b, new, gone), got %d: %v", len(lines), lines)
+	}
+
+	if _, ok := Compare(oldCard, newCard, 0.3); !ok {
+		t.Fatal("drop within tolerance must pass")
+	}
+
+	mismatch := &Scorecard{Version: ScorecardVersion + 1, Seed: 1}
+	if _, ok := Compare(oldCard, mismatch, 1); ok {
+		t.Fatal("scorecard version mismatch must fail")
+	}
+}

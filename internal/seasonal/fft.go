@@ -130,11 +130,33 @@ func Periodogram(series []float64, sampleInterval time.Duration) []PeriodogramPo
 // is a local maximum at least minMagnitude (relative to the strongest
 // component), strongest first. This is the automatic seasonal-factor
 // selection of Step 3.
+//
+// Magnitudes are normalized by the strongest non-DC component, so the
+// top peak of any series — including pure noise — always has magnitude
+// 1 and minMagnitude alone can never reject a non-seasonal series. A
+// Fisher-style concentration gate closes that hole: a peak counts only
+// when its spectral power stands clear of the mean bin power. For
+// white noise the bin powers are i.i.d. exponential, so the largest of
+// m bins concentrates near mean·ln m; requiring mean·(ln m + 4) keeps
+// the false-accept rate on noise below ~2% while a genuine seasonal
+// component, which concentrates a macroscopic fraction of the total
+// power in one bin, clears the gate by orders of magnitude.
 func DominantPeriods(series []float64, sampleInterval time.Duration, minMagnitude float64, max int) []PeriodogramPoint {
 	pg := Periodogram(series, sampleInterval)
+	var totalPower float64
+	for i := range pg {
+		totalPower += pg[i].Magnitude * pg[i].Magnitude
+	}
+	var noiseGate float64
+	if m := float64(len(pg)); m > 0 && totalPower > 0 {
+		noiseGate = (math.Log(m) + 4) * totalPower / m
+	}
 	var peaks []PeriodogramPoint
 	for i := range pg {
 		if pg[i].Magnitude < minMagnitude {
+			continue
+		}
+		if pg[i].Magnitude*pg[i].Magnitude < noiseGate {
 			continue
 		}
 		left := i == 0 || pg[i-1].Magnitude <= pg[i].Magnitude

@@ -324,3 +324,79 @@ func TestAddReturnsEntries(t *testing.T) {
 		t.Fatal("empty Add must return nil")
 	}
 }
+
+// TestPageAfterResumeAcrossMidWalkFlood covers the satellite case the
+// static-eviction tests above do not: the ring is overrun *between*
+// two PageAfter calls of one walk. A reader takes a page, a flood of
+// Adds then evicts past its cursor, and the resumed walk must (a)
+// report the gap via Missed with exact arithmetic — sequence numbers
+// are contiguous, so the evicted count is oldest−1−cursor, never an
+// estimate — (b) restart at the new horizon without duplicating or
+// skipping any retained entry, and (c) preserve the walk-completeness
+// invariant: entries delivered + Missed == total entries ever added.
+func TestPageAfterResumeAcrossMidWalkFlood(t *testing.T) {
+	x := New(10)
+	b := base()
+	at := func(i int) time.Time { return b.Add(time.Duration(i) * time.Minute) }
+	for i := 0; i < 10; i++ {
+		x.Add("s", anom("a", at(i)))
+	}
+
+	// First page of the walk: seqs 1..4.
+	p := x.PageAfter(Query{Since: 0, Limit: 4})
+	if len(p.Entries) != 4 || p.Entries[0].Seq != 1 || p.Next != 4 || !p.More {
+		t.Fatalf("first page = %+v", p)
+	}
+	if p.Missed != 0 {
+		t.Fatalf("first page Missed = %d, want 0", p.Missed)
+	}
+	received := uint64(len(p.Entries))
+	var missed uint64
+	seen := map[uint64]bool{1: true, 2: true, 3: true, 4: true}
+
+	// Flood: 12 more entries (seqs 11..22) overrun the capacity-10
+	// ring, so the retained range becomes 13..22 and the reader's
+	// cursor (4) now predates the horizon.
+	for i := 0; i < 12; i++ {
+		x.Add("s", anom("a", at(10+i)))
+	}
+	st := x.Stats()
+	if st.OldestSeq != 13 || st.Added != 22 {
+		t.Fatalf("flood stats = %+v, want OldestSeq 13, Added 22", st)
+	}
+
+	// Resume. The gap 5..12 was evicted: Missed must be exactly 8.
+	p = x.PageAfter(Query{Since: 4, Limit: 4})
+	if p.Missed != 8 {
+		t.Fatalf("resumed page Missed = %d, want 8 (seqs 5..12 evicted)", p.Missed)
+	}
+	if len(p.Entries) == 0 || p.Entries[0].Seq != 13 {
+		t.Fatalf("resumed page must restart at the horizon seq 13, got %+v", p.Entries)
+	}
+	for pages := 0; ; pages++ {
+		if pages > 20 {
+			t.Fatal("walk did not terminate")
+		}
+		for _, e := range p.Entries {
+			if seen[e.Seq] {
+				t.Fatalf("duplicate seq %d after resume", e.Seq)
+			}
+			seen[e.Seq] = true
+		}
+		received += uint64(len(p.Entries))
+		missed += p.Missed
+		if !p.More {
+			break
+		}
+		p = x.PageAfter(Query{Since: p.Next, Limit: 4})
+	}
+	if received+missed != st.Added {
+		t.Fatalf("delivered %d + missed %d != added %d", received, missed, st.Added)
+	}
+	// Every retained entry at flood time was delivered exactly once.
+	for seq := uint64(13); seq <= 22; seq++ {
+		if !seen[seq] {
+			t.Fatalf("retained seq %d never delivered", seq)
+		}
+	}
+}

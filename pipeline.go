@@ -146,7 +146,14 @@ func newPipeline(m *Manager, depth int, policy BackpressurePolicy) *pipeline {
 
 // worker drains one shard's queue. Feed errors cannot be returned to
 // the (long gone) enqueuer, so they are counted and latched into the
-// shard's stats instead of lost.
+// shard's stats instead of lost. A record-level error (out-of-order
+// arrival, gap bound) poisons only that record: the worker resumes
+// the batch past it, mirroring the documented caller-resume semantics
+// of the synchronous FeedBatch — one displaced record must not
+// silently discard the rest of its batch. Stream-level errors
+// (quarantine, tombstone) are terminal for the batch: every remaining
+// record would fail identically, so they are counted failed in one
+// step.
 func (p *pipeline) worker(i int) {
 	defer p.wg.Done()
 	ps := &p.shards[i]
@@ -155,10 +162,19 @@ func (p *pipeline) worker(i int) {
 			job.barrier <- struct{}{}
 			continue
 		}
-		_, n, err := p.m.feedBatch(job.stream, job.recs)
-		if err != nil {
-			ps.failed.Add(uint64(len(job.recs) - n))
+		recs := job.recs
+		for len(recs) > 0 {
+			_, n, err := p.m.feedBatch(job.stream, recs)
+			if err == nil {
+				break
+			}
 			ps.lastErr.Store(err.Error())
+			if errors.Is(err, ErrStreamQuarantined) || errors.Is(err, ErrStreamDropped) {
+				ps.failed.Add(uint64(len(recs) - n))
+				break
+			}
+			ps.failed.Add(1) // the offending record at index n
+			recs = recs[n+1:]
 		}
 	}
 }

@@ -225,6 +225,60 @@ func TestPipelineWorkerErrorsLatchedInStats(t *testing.T) {
 	}
 }
 
+// TestPipelineWorkerResumesBatchPastBadRecord pins the fix for batch
+// poisoning: a single out-of-order record inside an enqueued batch
+// must fail alone — the worker resumes the batch past it, exactly as
+// a synchronous FeedBatch caller would using the applied count. The
+// scenario suite exposed this: a displaced record in a flood workload
+// silently discarded the rest of its batch in pipelined mode,
+// diverging from the sync path.
+func TestPipelineWorkerResumesBatchPastBadRecord(t *testing.T) {
+	m := pipelineManager(t, 1, 8, Block, nil)
+	base := start()
+	recs := []Record{
+		{Path: []string{"pop"}, Time: base},
+		{Path: []string{"pop"}, Time: base.Add(time.Minute)},
+		{Path: []string{"pop"}, Time: base}, // out of order: must fail alone
+		{Path: []string{"pop"}, Time: base.Add(2 * time.Minute)},
+		{Path: []string{"pop"}, Time: base.Add(3 * time.Minute)},
+	}
+	if err := m.EnqueueBatch("s", recs); err != nil {
+		t.Fatal(err)
+	}
+	m.Drain()
+	st := m.Stats()
+	if st.Failed != 1 {
+		t.Fatalf("failed = %d, want 1 (only the displaced record)", st.Failed)
+	}
+	if st.Records != uint64(len(recs)-1) {
+		t.Fatalf("records = %d, want %d (batch resumed past the bad record)", st.Records, len(recs)-1)
+	}
+}
+
+// TestPipelineWorkerStopsBatchOnTerminalError: stream-level errors
+// are terminal for the batch — retrying record-by-record against a
+// dropped stream would burn a shard worker for nothing.
+func TestPipelineWorkerStopsBatchOnTerminalError(t *testing.T) {
+	m := pipelineManager(t, 1, 8, Block, nil)
+	base := start()
+	if _, err := m.Feed("s", Record{Path: []string{"pop"}, Time: base}); err != nil {
+		t.Fatal(err)
+	}
+	m.Drop("s")
+	recs := []Record{
+		{Path: []string{"pop"}, Time: base.Add(time.Minute)},
+		{Path: []string{"pop"}, Time: base.Add(2 * time.Minute)},
+		{Path: []string{"pop"}, Time: base.Add(3 * time.Minute)},
+	}
+	if err := m.EnqueueBatch("s", recs); err != nil {
+		t.Fatal(err)
+	}
+	m.Drain()
+	if st := m.Stats(); st.Failed != uint64(len(recs)) {
+		t.Fatalf("failed = %d, want %d (whole batch fails on tombstoned stream)", st.Failed, len(recs))
+	}
+}
+
 // TestDropOldestAccuracy pins the drop counter at the queue level:
 // with no worker consuming, overflowing a depth-Q queue by k
 // single-record batches must count exactly k drops and retain the

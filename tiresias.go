@@ -415,7 +415,9 @@ func (t *Tiresias) factory() algo.ForecasterFactory {
 	a, b, g := t.opts.hwAlpha, t.opts.hwBeta, t.opts.hwGamma
 	switch len(t.periods) {
 	case 0:
-		return algo.DefaultFactory()
+		// No seasonality: plain exponential smoothing, honoring the
+		// configured α rather than DefaultFactory's fixed 0.5.
+		return algo.EWMAFactory(a)
 	case 1:
 		return algo.HoltWintersFactory(a, b, g, t.periods[0])
 	default:
