@@ -105,6 +105,19 @@ type WatchStats struct {
 	Lagged uint64 `json:"lagged"`
 }
 
+// IngestStats counts the server's HTTP ingest surface: what the
+// /v1 + /v2 record endpoints accepted, before detection. The same
+// counters back the tiresias_ingest_* series of GET /metrics — both
+// views read one set of registers, so dashboards built on either
+// cannot disagree.
+type IngestStats struct {
+	// Records is the number of records accepted (fed or enqueued)
+	// across all ingest requests.
+	Records uint64 `json:"records"`
+	// Bytes is the total decoded request-body bytes of ingest calls.
+	Bytes uint64 `json:"bytes"`
+}
+
 // StatsResponse is the GET /v2/stats payload.
 type StatsResponse struct {
 	// Manager reports ingest throughput and pipeline queue state.
@@ -113,6 +126,9 @@ type StatsResponse struct {
 	Index tiresias.IndexStats `json:"index"`
 	// Watch reports the live subscription fan-out.
 	Watch WatchStats `json:"watch"`
+	// Ingest reports the HTTP ingest surface (records and bytes
+	// accepted by the record endpoints).
+	Ingest IngestStats `json:"ingest"`
 	// StoreLen is the persistent dashboard store size.
 	StoreLen int `json:"storeLen"`
 	// Panics counts handler panics the server recovered (each

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"tiresias/internal/checkpoint"
 	"tiresias/internal/detect"
@@ -238,6 +239,7 @@ var ErrNoCheckpoint = errors.New("tiresias: no checkpoint in directory")
 // corruption — the last committed generation keeps their last good
 // snapshot instead.
 func (m *Manager) Checkpoint(dir string) (int, error) {
+	start := time.Now()
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	// On a pipelined Manager, flush the ingestion queues first: every
@@ -324,6 +326,15 @@ func (m *Manager) Checkpoint(dir string) (int, error) {
 	if err := setCurrent(fsys, dir, genName); err != nil {
 		return 0, err
 	}
+	m.ckptStatsMu.Lock()
+	m.ckptStats = CheckpointStats{
+		Checkpoints:         m.ckptStats.Checkpoints + 1,
+		Generation:          gen,
+		LastStreams:         total,
+		LastDurationSeconds: time.Since(start).Seconds(),
+		LastAt:              time.Now(),
+	}
+	m.ckptStatsMu.Unlock()
 	return total, pruneGenerations(fsys, dir, genName)
 }
 
@@ -536,6 +547,7 @@ func (m *Manager) restoreStream(path string) error {
 		dirty:   ss.Dirty,
 		units:   ss.Units,
 		anoms:   ss.Anoms,
+		stepObs: m.stepObs,
 	}
 	sh := m.shardOf(ss.Name)
 	sh.mu.Lock()

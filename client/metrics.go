@@ -1,0 +1,73 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one parsed GET /metrics scrape: series id — the metric
+// name plus its label block, exactly as rendered in the exposition —
+// mapped to the sample value. Histogram series appear under their
+// _bucket/_sum/_count names.
+type Metrics map[string]float64
+
+// Value returns one series' sample, e.g.
+// m.Value(`tiresias_http_requests_total{code="2xx"}`); absent series
+// read as 0, matching how dashboards treat a missing sample.
+func (m Metrics) Value(id string) float64 { return m[id] }
+
+// Sum adds up every series of one family across its label sets, e.g.
+// m.Sum("tiresias_pipeline_dropped_total") totals all shards.
+func (m Metrics) Sum(family string) float64 {
+	var total float64
+	for id, v := range m {
+		if id == family || strings.HasPrefix(id, family+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Metrics scrapes GET /metrics and parses the Prometheus text
+// exposition. Use it in tests and tooling that assert on a server's
+// counters; dashboards should scrape the endpoint directly.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/metrics", nil), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	out := make(Metrics)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("client: unparsable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: unparsable sample in %q: %w", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

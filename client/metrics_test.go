@@ -1,0 +1,68 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsScrape(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+	if _, err := c.IngestNDJSON(ctx, strings.NewReader(ndjson("scrape", 30))); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value("tiresias_ingest_records_total"); got != 81 {
+		t.Fatalf("ingest records = %v, want 81", got)
+	}
+	if m.Value("tiresias_streams") != 1 {
+		t.Fatalf("streams = %v, want 1", m.Value("tiresias_streams"))
+	}
+	if m.Value("tiresias_manager_anomalies_total") == 0 {
+		t.Fatal("burst not visible on the anomalies counter")
+	}
+	// The typed client's own requests land on the HTTP counters.
+	if m.Sum("tiresias_http_requests_total") == 0 {
+		t.Fatal("no HTTP requests counted")
+	}
+	// Sum totals label sets: the per-shard capacity gauges of a
+	// non-pipelined server all read 0.
+	if m.Sum("tiresias_pipeline_queue_capacity") != 0 {
+		t.Fatalf("queue capacity sum = %v, want 0 when synchronous", m.Sum("tiresias_pipeline_queue_capacity"))
+	}
+	if m.Value("tiresias_nope") != 0 {
+		t.Fatal("absent series must read 0")
+	}
+}
+
+func TestMetricsScrapeErrors(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	c, err := New(bad.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Metrics(context.Background()); err == nil {
+		t.Fatal("non-200 scrape must error")
+	}
+
+	torn := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("tiresias_streams\n"))
+	}))
+	defer torn.Close()
+	c, err = New(torn.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Metrics(context.Background()); err == nil {
+		t.Fatal("unparsable exposition must error")
+	}
+}

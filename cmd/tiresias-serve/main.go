@@ -13,6 +13,7 @@
 //	curl 'localhost:8080/v2/streams'                                # fleet status
 //	curl 'localhost:8080/v2/streams/ccd'                            # + heavy hitters
 //	curl 'localhost:8080/v2/config'                                 # introspection
+//	curl 'localhost:8080/metrics'                                   # Prometheus exposition
 //	curl -N 'localhost:8080/v2/anomalies/watch?stream=ccd'          # live SSE
 //
 // POST /v2/records accepts one JSON record, a JSON array, or NDJSON
@@ -36,9 +37,21 @@
 //	curl -X POST localhost:8080/v2/checkpoint   # on-demand snapshot
 //	tiresias-serve -checkpoint-dir /var/lib/tiresias -restore
 //
+// Zero-downtime handoff chains the two: the outgoing process runs
+// with -handoff, and on SIGTERM it drains the pipeline, writes a
+// final checkpoint, and commits a HANDOFF-READY marker into the
+// checkpoint directory; the successor starts with -restore, consumes
+// the marker, and resumes every stream mid-window. See OPERATIONS.md
+// for the full runbook.
+//
+// Observability: GET /metrics serves the Prometheus exposition,
+// lifecycle and request logs are structured JSON on stderr
+// (-log-level selects the floor), and -pprof-addr serves the
+// net/http/pprof endpoints on a separate, private listener.
+//
 // This command is flag parsing and process lifecycle (signals,
-// periodic checkpoints, graceful drain); the serving logic lives in
-// package httpserve, reusable by any embedder.
+// periodic checkpoints, graceful drain, handoff); the serving logic
+// lives in package httpserve, reusable by any embedder.
 package main
 
 import (
@@ -46,9 +59,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -57,7 +73,7 @@ import (
 )
 
 func main() {
-	srv, drain, n, err := buildServer(os.Args[1:])
+	p, err := buildServer(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tiresias-serve:", err)
 		os.Exit(1)
@@ -73,24 +89,112 @@ func main() {
 		<-sig
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
+		_ = p.srv.Shutdown(ctx)
 	}()
-	fmt.Printf("tiresias-serve: %d anomalies loaded, listening on %s\n", n, srv.Addr)
-	err = srv.ListenAndServe()
+	if p.pprofAddr != "" {
+		go func() {
+			p.log.Info("pprof listening", "addr", p.pprofAddr)
+			if err := http.ListenAndServe(p.pprofAddr, pprofMux()); err != nil {
+				p.log.Error("pprof listener failed", "err", err.Error())
+			}
+		}()
+	}
+	p.log.Info("listening", "addr", p.srv.Addr, "anomalies_loaded", p.loaded, "handoff", p.handoff)
+	err = p.srv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "tiresias-serve:", err)
+		p.log.Error("listener failed", "err", err.Error())
 		os.Exit(1)
 	}
-	drain()
-	fmt.Println("tiresias-serve: drained, bye")
+	if err := p.finish(); err != nil {
+		p.log.Error("shutdown failed", "err", err.Error())
+		os.Exit(1)
+	}
+}
+
+// proc is one configured tiresias-serve process: the HTTP listener,
+// the serving layer behind it, and the lifecycle the flags selected.
+type proc struct {
+	srv       *http.Server
+	hs        *httpserve.Server
+	log       *slog.Logger
+	loaded    int    // anomalies loaded from -store
+	handoff   bool   // checkpoint + ready marker after the final drain
+	ckptDir   string // checkpoint directory ("" disables)
+	pprofAddr string // private pprof listener ("" disables)
+}
+
+// finish completes the process lifecycle after the listener has
+// stopped: drain the ingestion pipeline (flushing queued records
+// through detection), and under -handoff write the final checkpoint
+// and commit the HANDOFF-READY marker the successor looks for.
+func (p *proc) finish() error {
+	_ = p.hs.Close()
+	if !p.handoff {
+		p.log.Info("drained")
+		return nil
+	}
+	streams, err := p.hs.Checkpoint()
+	if err != nil {
+		return fmt.Errorf("handoff checkpoint: %w", err)
+	}
+	if err := writeHandoffMarker(p.ckptDir, streams); err != nil {
+		return fmt.Errorf("handoff marker: %w", err)
+	}
+	p.log.Info("handoff ready", "streams", streams, "dir", p.ckptDir)
+	return nil
+}
+
+// handoffMarker is the ready-marker filename -handoff commits into
+// the checkpoint directory after its final snapshot. A successor
+// started with -restore consumes (removes) it, so the marker's
+// presence always means "a finished predecessor's state is waiting".
+const handoffMarker = "HANDOFF-READY"
+
+// writeHandoffMarker atomically publishes the ready marker: the
+// content lands in a temp file first and is renamed into place, so a
+// supervisor polling for the marker can never observe a torn write.
+func writeHandoffMarker(dir string, streams int) error {
+	tmp := filepath.Join(dir, ".handoff-ready.tmp")
+	body := fmt.Sprintf("streams %d\n", streams)
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, handoffMarker))
+}
+
+// pprofMux wires the standard net/http/pprof endpoints onto their
+// own mux, served on -pprof-addr only — profiling never rides the
+// public API listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// parseLogLevel maps the -log-level flag to a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", s)
+	}
 }
 
 // buildServer parses flags into an httpserve.Config, loads the store,
-// and returns the configured (unstarted) server, a drain function to
-// run after the server has stopped serving (closes the ingestion
-// pipeline, flushing queued records through detection, and
-// disconnects watchers), and the number of loaded anomalies.
-func buildServer(args []string) (*http.Server, func(), int, error) {
+// and returns the configured (unstarted) process. The caller runs the
+// listener and, once it stops serving, proc.finish.
+func buildServer(args []string) (*proc, error) {
 	fs := flag.NewFlagSet("tiresias-serve", flag.ContinueOnError)
 	var (
 		storePath = fs.String("store", "", "anomaly JSON produced by cmd/tiresias -store")
@@ -107,39 +211,47 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 		indexCap  = fs.Int("index-cap", 65536, "queryable anomaly index capacity (entries)")
 		watchBuf  = fs.Int("watch-buffer", 256, "per-subscriber watch buffer (entries); slower watchers are disconnected and resume by cursor")
 		ckptDir   = fs.String("checkpoint-dir", "", "directory for stream checkpoints (enables POST /v2/checkpoint)")
-		restore   = fs.Bool("restore", false, "restore all streams from -checkpoint-dir at startup")
+		restore   = fs.Bool("restore", false, "restore all streams from -checkpoint-dir at startup (consumes a handoff marker)")
 		ckptEvery = fs.Duration("checkpoint-every", 0, "also checkpoint to -checkpoint-dir at this interval (0 disables)")
+		handoff   = fs.Bool("handoff", false, "on shutdown: drain, checkpoint to -checkpoint-dir, and commit a "+handoffMarker+" marker for the successor")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this private address (empty disables)")
+		logLevel  = fs.String("log-level", "info", "structured log floor: debug | info | warn | error")
 		readTO    = fs.Duration("read-timeout", 2*time.Minute, "max duration reading one request, body included (0 disables)")
 		writeTO   = fs.Duration("write-timeout", time.Minute, "per-request write deadline; SSE watch streams are exempt (0 disables)")
 		idleTO    = fs.Duration("idle-timeout", 5*time.Minute, "max keep-alive idle time per connection (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
-	if (*restore || *ckptEvery > 0) && *ckptDir == "" {
-		return nil, nil, 0, fmt.Errorf("-restore and -checkpoint-every require -checkpoint-dir")
+	if (*restore || *ckptEvery > 0 || *handoff) && *ckptDir == "" {
+		return nil, fmt.Errorf("-restore, -checkpoint-every, and -handoff require -checkpoint-dir")
 	}
 	bp, err := parsePolicy(*policy)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
+	}
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return nil, err
 	}
 	if *shards < 1 {
 		// httpserve.Config treats 0 as "use the default"; the flag
 		// surface keeps the stricter contract.
-		return nil, nil, 0, fmt.Errorf("-shards must be >= 1, got %d", *shards)
+		return nil, fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 	st := tiresias.NewStore()
 	if *storePath != "" {
 		f, err := os.Open(*storePath)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, err
 		}
 		err = st.Load(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, err
 		}
 	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	cfg := httpserve.Config{
 		Delta:         *delta,
 		WindowLen:     *window,
@@ -154,6 +266,7 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 		Store:         st,
 		CheckpointDir: *ckptDir,
 		Restore:       *restore,
+		Logger:        logger,
 	}
 	if *maxGap <= 0 {
 		cfg.MaxGap = -1 // httpserve: negative disables the bound
@@ -164,10 +277,22 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 	}
 	hs, err := httpserve.New(cfg)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
+	plog := logger.With("component", "serve")
 	if hs.ColdStarted {
-		fmt.Fprintf(os.Stderr, "tiresias-serve: no checkpoint in %s yet, starting cold\n", *ckptDir)
+		plog.Warn("no checkpoint yet, starting cold", "dir", *ckptDir)
+	}
+	if *restore {
+		// Consume a predecessor's handoff marker: the state it
+		// advertised is loaded, so the marker must not outlive it and
+		// confuse the next rollout.
+		marker := filepath.Join(*ckptDir, handoffMarker)
+		if err := os.Remove(marker); err == nil {
+			plog.Info("handoff marker consumed", "marker", marker)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("consume handoff marker: %w", err)
+		}
 	}
 	// Write timeouts are per-request deadlines inside the handler chain
 	// (httpserve.Config.WriteTimeout), NOT http.Server.WriteTimeout: a
@@ -197,7 +322,7 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 				select {
 				case <-ticker.C:
 					if _, err := hs.Checkpoint(); err != nil {
-						fmt.Fprintln(os.Stderr, "tiresias-serve: periodic checkpoint:", err)
+						plog.Error("periodic checkpoint failed", "err", err.Error())
 					}
 				case <-done:
 					return
@@ -205,7 +330,15 @@ func buildServer(args []string) (*http.Server, func(), int, error) {
 			}
 		}()
 	}
-	return srv, func() { _ = hs.Close() }, st.Len(), nil
+	return &proc{
+		srv:       srv,
+		hs:        hs,
+		log:       plog,
+		loaded:    st.Len(),
+		handoff:   *handoff,
+		ckptDir:   *ckptDir,
+		pprofAddr: *pprofAddr,
+	}, nil
 }
 
 // parsePolicy maps the -backpressure flag to a BackpressurePolicy.

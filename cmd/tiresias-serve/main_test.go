@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +16,17 @@ import (
 	"tiresias/internal/hierarchy"
 	"tiresias/internal/report"
 )
+
+// newProc builds a test proc, with the log floor raised to error so
+// per-request Info lines do not drown the test output.
+func newProc(t *testing.T, args ...string) *proc {
+	t.Helper()
+	p, err := buildServer(append([]string{"-log-level", "error"}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 func TestBuildServerLoadsStore(t *testing.T) {
 	st := report.NewStore()
@@ -32,14 +44,11 @@ func TestBuildServerLoadsStore(t *testing.T) {
 	}
 	f.Close()
 
-	srv, _, n, err := buildServer([]string{"-store", path, "-addr", "127.0.0.1:0"})
-	if err != nil {
-		t.Fatal(err)
+	p := newProc(t, "-store", path, "-addr", "127.0.0.1:0")
+	if p.loaded != 2 {
+		t.Fatalf("loaded %d anomalies, want 2", p.loaded)
 	}
-	if n != 2 {
-		t.Fatalf("loaded %d anomalies, want 2", n)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	resp, err := ts.Client().Get(ts.URL + "/anomalies?under=vho2")
 	if err != nil {
@@ -56,25 +65,28 @@ func TestBuildServerLoadsStore(t *testing.T) {
 }
 
 func TestBuildServerErrors(t *testing.T) {
-	if _, _, _, err := buildServer([]string{"-store", "/does/not/exist"}); err == nil {
+	if _, err := buildServer([]string{"-store", "/does/not/exist"}); err == nil {
 		t.Fatal("missing store must fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := buildServer([]string{"-store", bad}); err == nil {
+	if _, err := buildServer([]string{"-store", bad}); err == nil {
 		t.Fatal("corrupt store must fail")
 	}
 }
 
 func TestBuildServerEmpty(t *testing.T) {
-	srv, _, n, err := buildServer(nil)
+	p, err := buildServer(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 || srv.Addr != ":8080" {
-		t.Fatalf("defaults: n=%d addr=%s", n, srv.Addr)
+	if p.loaded != 0 || p.srv.Addr != ":8080" {
+		t.Fatalf("defaults: n=%d addr=%s", p.loaded, p.srv.Addr)
+	}
+	if p.handoff || p.pprofAddr != "" {
+		t.Fatalf("handoff=%v pprof=%q, both must default off", p.handoff, p.pprofAddr)
 	}
 }
 
@@ -95,13 +107,8 @@ func postJSON(t *testing.T, url string, body string, out any) int {
 }
 
 func TestLiveIngestDetectsAndFeedsDashboard(t *testing.T) {
-	srv, _, _, err := buildServer([]string{
-		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 
 	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
@@ -175,11 +182,8 @@ func TestLiveIngestDetectsAndFeedsDashboard(t *testing.T) {
 }
 
 func TestLiveIngestSingleObjectAndErrors(t *testing.T) {
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 
 	var ing struct {
@@ -205,20 +209,17 @@ func TestLiveIngestSingleObjectAndErrors(t *testing.T) {
 }
 
 func TestBuildServerBadLiveConfig(t *testing.T) {
-	if _, _, _, err := buildServer([]string{"-window", "1"}); err == nil {
+	if _, err := buildServer([]string{"-window", "1"}); err == nil {
 		t.Fatal("bad live window must fail buildServer")
 	}
-	if _, _, _, err := buildServer([]string{"-shards", "0"}); err == nil {
+	if _, err := buildServer([]string{"-shards", "0"}); err == nil {
 		t.Fatal("zero shards must fail buildServer")
 	}
 }
 
 func TestLiveIngestRejectsMissingTime(t *testing.T) {
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	// A zero time would seed the stream clock at year 1 and let the
 	// next sane record gap-fill millions of units.
@@ -228,11 +229,8 @@ func TestLiveIngestRejectsMissingTime(t *testing.T) {
 }
 
 func TestLiveIngestOversizedBodyIs413(t *testing.T) {
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	big := "[" + strings.Repeat(" ", 9<<20) + "]"
 	if code := postJSON(t, ts.URL+"/v1/records", big, nil); code != http.StatusRequestEntityTooLarge {
@@ -241,11 +239,8 @@ func TestLiveIngestOversizedBodyIs413(t *testing.T) {
 }
 
 func TestLiveIngestBatchValidationHasNoSideEffects(t *testing.T) {
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	// A batch with a bad second record must not feed the first one.
 	bad := `[{"stream":"s","path":["a"],"time":"2010-09-14T00:00:00Z"},{"stream":"s","path":[]}]`
@@ -276,11 +271,8 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8",
 		"-theta", "0.5", "-rt", "2", "-dt", "5", "-checkpoint-dir", dir,
 	}
-	srv, _, _, err := buildServer(args)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, args...)
+	ts := httptest.NewServer(p.srv.Handler)
 
 	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
 	var batch []map[string]any
@@ -315,11 +307,8 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 	ts.Close()
 
 	// Restart from the checkpoint and keep ingesting where we left off.
-	srv2, _, _, err := buildServer(append(args, "-restore"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts2 := httptest.NewServer(srv2.Handler)
+	p2 := newProc(t, append(args, "-restore")...)
+	ts2 := httptest.NewServer(p2.srv.Handler)
 	defer ts2.Close()
 	var streams []map[string]any
 	resp, err := http.Get(ts2.URL + "/v1/streams")
@@ -352,25 +341,22 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 
 // TestCheckpointEndpointDisabled checks the no-dir and bad-flag cases.
 func TestCheckpointEndpointDisabled(t *testing.T) {
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	var out map[string]any
 	if code := postJSON(t, ts.URL+"/v1/checkpoint", "", &out); code != http.StatusConflict {
 		t.Fatalf("checkpoint without -checkpoint-dir: status = %d, want 409", code)
 	}
-	if _, _, _, err := buildServer([]string{"-restore"}); err == nil {
+	if _, err := buildServer([]string{"-restore"}); err == nil {
 		t.Fatal("-restore without -checkpoint-dir must fail")
 	}
-	if _, _, _, err := buildServer([]string{"-checkpoint-every", "1m"}); err == nil {
+	if _, err := buildServer([]string{"-checkpoint-every", "1m"}); err == nil {
 		t.Fatal("-checkpoint-every without -checkpoint-dir must fail")
 	}
 	// First boot of a durable deployment: -restore over an empty
 	// directory starts cold instead of crash-looping the service.
-	if _, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-checkpoint-dir", t.TempDir(), "-restore"}); err != nil {
+	if _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-checkpoint-dir", t.TempDir(), "-restore"}); err != nil {
 		t.Fatalf("-restore from an empty directory must cold-start, got %v", err)
 	}
 }
@@ -394,13 +380,8 @@ func ndjsonBody(streamName string, warmupUnits int) string {
 }
 
 func TestNDJSONIngestAndAnomalyQuery(t *testing.T) {
-	srv, _, _, err := buildServer([]string{
-		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 
 	body := ndjsonBody("ccd", 30)
@@ -474,11 +455,8 @@ func TestNDJSONIngestAndAnomalyQuery(t *testing.T) {
 }
 
 func TestNDJSONAutoDetected(t *testing.T) {
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+	p := newProc(t, "-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	// Two single-line records, no NDJSON content type.
 	body := `{"path":["a"],"time":"2010-09-14T00:00:00Z"}` + "\n" + `{"path":["a"],"time":"2010-09-14T00:01:00Z"}`
@@ -494,14 +472,10 @@ func TestNDJSONAutoDetected(t *testing.T) {
 }
 
 func TestPipelinedIngestEndToEnd(t *testing.T) {
-	srv, _, _, err := buildServer([]string{
+	p := newProc(t,
 		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8", "-theta", "0.5", "-rt", "2", "-dt", "5",
-		"-queue", "64", "-backpressure", "block",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler)
+		"-queue", "64", "-backpressure", "block")
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 
 	body := ndjsonBody("stb", 30)
@@ -575,37 +549,29 @@ func TestPipelinedIngestEndToEnd(t *testing.T) {
 }
 
 func TestBuildServerBadBackpressure(t *testing.T) {
-	if _, _, _, err := buildServer([]string{"-queue", "8", "-backpressure", "sometimes"}); err == nil {
+	if _, err := buildServer([]string{"-queue", "8", "-backpressure", "sometimes"}); err == nil {
 		t.Fatal("unknown backpressure policy must fail buildServer")
 	}
 }
 
 func TestBuildServerTimeouts(t *testing.T) {
 	// Defaults: the listener is hardened out of the box.
-	srv, _, _, err := buildServer([]string{"-addr", "127.0.0.1:0"})
-	if err != nil {
-		t.Fatal(err)
+	p := newProc(t, "-addr", "127.0.0.1:0")
+	if p.srv.ReadTimeout != 2*time.Minute || p.srv.IdleTimeout != 5*time.Minute {
+		t.Fatalf("default timeouts: read=%v idle=%v", p.srv.ReadTimeout, p.srv.IdleTimeout)
 	}
-	if srv.ReadTimeout != 2*time.Minute || srv.IdleTimeout != 5*time.Minute {
-		t.Fatalf("default timeouts: read=%v idle=%v", srv.ReadTimeout, srv.IdleTimeout)
-	}
-	if srv.WriteTimeout != 0 {
-		t.Fatalf("server-level WriteTimeout = %v, must stay 0 (per-request deadlines would kill SSE)", srv.WriteTimeout)
+	if p.srv.WriteTimeout != 0 {
+		t.Fatalf("server-level WriteTimeout = %v, must stay 0 (per-request deadlines would kill SSE)", p.srv.WriteTimeout)
 	}
 
 	// Overrides land, and 0 disables.
-	srv, _, _, err = buildServer([]string{
-		"-addr", "127.0.0.1:0", "-read-timeout", "7s", "-idle-timeout", "0", "-write-timeout", "3s",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if srv.ReadTimeout != 7*time.Second || srv.IdleTimeout != 0 {
-		t.Fatalf("override timeouts: read=%v idle=%v", srv.ReadTimeout, srv.IdleTimeout)
+	p = newProc(t, "-addr", "127.0.0.1:0", "-read-timeout", "7s", "-idle-timeout", "0", "-write-timeout", "3s")
+	if p.srv.ReadTimeout != 7*time.Second || p.srv.IdleTimeout != 0 {
+		t.Fatalf("override timeouts: read=%v idle=%v", p.srv.ReadTimeout, p.srv.IdleTimeout)
 	}
 
 	// The built handler serves the health endpoint.
-	ts := httptest.NewServer(srv.Handler)
+	ts := httptest.NewServer(p.srv.Handler)
 	defer ts.Close()
 	resp, err := ts.Client().Get(ts.URL + "/v2/healthz")
 	if err != nil {
@@ -620,5 +586,185 @@ func TestBuildServerTimeouts(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, h.Status)
+	}
+}
+
+// postNDJSON ingests an NDJSON body and returns the accepted count.
+func postNDJSON(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	return ing.Accepted
+}
+
+// anomalySet reads /v2/anomalies and keys every entry by
+// stream|time|key|depth|instance, failing on any in-process
+// duplicate.
+func anomalySet(t *testing.T, baseURL string) map[string]bool {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v2/anomalies?limit=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anomaly query status = %d", resp.StatusCode)
+	}
+	var page struct {
+		Entries []struct {
+			Stream   string    `json:"stream"`
+			Key      string    `json:"key"`
+			Depth    int       `json:"depth"`
+			Instance int       `json:"instance"`
+			Time     time.Time `json:"time"`
+		} `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool, len(page.Entries))
+	for _, e := range page.Entries {
+		id := fmt.Sprintf("%s|%s|%s|%d|%d", e.Stream, e.Time.Format(time.RFC3339), e.Key, e.Depth, e.Instance)
+		if out[id] {
+			t.Fatalf("duplicate anomaly within one process: %s", id)
+		}
+		out[id] = true
+	}
+	return out
+}
+
+// TestHandoffLosesNothingDuplicatesNothing is the zero-downtime
+// handoff e2e. Process A (-handoff) ingests the first part of a
+// deterministic load, drains, checkpoints, and commits the ready
+// marker; process B (-restore) consumes the marker and ingests the
+// rest. Every record must be accepted exactly once, no anomaly may
+// be detected twice, and the union of both processes' detections
+// must equal a single uninterrupted reference run — including the
+// burst whose timeunit is split across the handoff.
+func TestHandoffLosesNothingDuplicatesNothing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	detector := []string{
+		"-addr", "127.0.0.1:0", "-delta", "1m", "-window", "8",
+		"-theta", "0.5", "-rt", "2", "-dt", "5", "-queue", "16",
+	}
+
+	// Two bursts: unit 20's is fully the predecessor's; unit 30's
+	// records straddle the handoff, so the checkpoint must carry the
+	// partially accumulated timeunit bit-exactly.
+	base := time.Date(2010, 9, 14, 0, 0, 0, 0, time.UTC)
+	var recs []string
+	add := func(minute int) {
+		at := base.Add(time.Duration(minute) * time.Minute).Format(time.RFC3339)
+		recs = append(recs, fmt.Sprintf(`{"stream":"hand","path":["vho1","io2"],"time":%q}`, at))
+	}
+	for m := 0; m < 20; m++ {
+		add(m)
+	}
+	for i := 0; i < 40; i++ {
+		add(20)
+	}
+	for m := 21; m < 30; m++ {
+		add(m)
+	}
+	for i := 0; i < 40; i++ {
+		add(30)
+	}
+	for m := 31; m <= 40; m++ {
+		add(m)
+	}
+	split := 20 + 40 + 9 + 20 // 20 records into the second burst
+
+	a := newProc(t, append(detector, "-checkpoint-dir", dir, "-handoff")...)
+	tsA := httptest.NewServer(a.srv.Handler)
+	acceptedA := postNDJSON(t, tsA.URL+"/v2/records?wait=1", strings.Join(recs[:split], "\n"))
+	setA := anomalySet(t, tsA.URL)
+	tsA.Close()
+	if err := a.finish(); err != nil {
+		t.Fatal(err)
+	}
+	marker := filepath.Join(dir, handoffMarker)
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("handoff marker not committed: %v", err)
+	}
+
+	b := newProc(t, append(detector, "-checkpoint-dir", dir, "-restore")...)
+	if _, err := os.Stat(marker); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("successor did not consume the marker: stat = %v", err)
+	}
+	tsB := httptest.NewServer(b.srv.Handler)
+	defer tsB.Close()
+	acceptedB := postNDJSON(t, tsB.URL+"/v2/records?wait=1", strings.Join(recs[split:], "\n"))
+	setB := anomalySet(t, tsB.URL)
+
+	if acceptedA+acceptedB != len(recs) {
+		t.Fatalf("records lost across handoff: %d + %d != %d", acceptedA, acceptedB, len(recs))
+	}
+	if len(setA) == 0 || len(setB) == 0 {
+		t.Fatalf("both sides must detect something: predecessor %d, successor %d", len(setA), len(setB))
+	}
+	union := make(map[string]bool, len(setA)+len(setB))
+	for id := range setA {
+		union[id] = true
+	}
+	for id := range setB {
+		if setA[id] {
+			t.Fatalf("anomaly duplicated across handoff: %s", id)
+		}
+		union[id] = true
+	}
+
+	// Reference: the same detector, the whole load, no interruption.
+	ref := newProc(t, detector...)
+	tsRef := httptest.NewServer(ref.srv.Handler)
+	defer tsRef.Close()
+	if got := postNDJSON(t, tsRef.URL+"/v2/records?wait=1", strings.Join(recs, "\n")); got != len(recs) {
+		t.Fatalf("reference run accepted %d of %d", got, len(recs))
+	}
+	setRef := anomalySet(t, tsRef.URL)
+	for id := range setRef {
+		if !union[id] {
+			t.Fatalf("anomaly lost across handoff: %s", id)
+		}
+	}
+	if len(union) != len(setRef) {
+		t.Fatalf("handoff union detected %d anomalies, reference %d", len(union), len(setRef))
+	}
+}
+
+func TestBuildServerHandoffAndLogLevelValidation(t *testing.T) {
+	if _, err := buildServer([]string{"-handoff"}); err == nil {
+		t.Fatal("-handoff without -checkpoint-dir must fail")
+	}
+	if _, err := buildServer([]string{"-log-level", "loud"}); err == nil {
+		t.Fatal("unknown -log-level must fail")
+	}
+}
+
+func TestPprofMuxServesProfiles(t *testing.T) {
+	ts := httptest.NewServer(pprofMux())
+	defer ts.Close()
+	// The blocking collectors (profile, trace) are wired but not
+	// exercised here; the cheap endpoints prove the mux works.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -93,6 +94,11 @@ type Config struct {
 	// per-request, not http.Server.WriteTimeout — a server-level
 	// write timeout would kill every watch stream at the deadline.
 	WriteTimeout time.Duration
+	// Logger receives structured request and lifecycle logs (slog
+	// field conventions are documented in OPERATIONS.md). nil
+	// discards — embedders and tests stay quiet by default;
+	// cmd/tiresias-serve wires a JSON handler on stderr.
+	Logger *slog.Logger
 }
 
 // withDefaults returns cfg with every zero field resolved.
@@ -143,6 +149,9 @@ func (cfg Config) withDefaults() Config {
 	} else if cfg.WriteTimeout < 0 {
 		cfg.WriteTimeout = 0
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	return cfg
 }
 
@@ -158,6 +167,8 @@ type Server struct {
 	mux       *http.ServeMux
 	handler   http.Handler
 	pipelined bool
+	metrics   *serverMetrics
+	log       *slog.Logger
 
 	// panics counts handler panics the recovery middleware contained,
 	// surfaced in /v2/stats and /v2/healthz.
@@ -182,6 +193,8 @@ func New(cfg Config) (*Server, error) {
 		store:     cfg.Store,
 		hub:       newHub(),
 		pipelined: cfg.QueueDepth > 0,
+		metrics:   newServerMetrics(cfg.Shards),
+		log:       cfg.Logger,
 	}
 	// Every live stream's detector feeds the dashboard store, so
 	// live detections surface next to loaded history.
@@ -203,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 		tiresias.WithDetectorOptions(liveOpts...),
 		tiresias.WithAnomalyIndex(s.ix),
 		tiresias.WithAnomalyObserver(s.hub.publish),
+		tiresias.WithStepObserver(s.metrics.observeStep),
 	}
 	if s.pipelined {
 		mgrOpts = append(mgrOpts, tiresias.WithPipeline(cfg.QueueDepth, cfg.Backpressure))
@@ -241,6 +255,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v2/config", s.configV2)
 	s.mux.HandleFunc("GET /v2/healthz", s.healthzV2)
 	s.mux.HandleFunc("POST /v2/checkpoint", s.checkpointV2)
+	s.mux.Handle("GET /metrics", s.metricsHandler())
 	s.routesV1()
 	// The dashboard serves the HTML report at "/" and keeps its
 	// legacy JSON API at /anomalies and /stats.
@@ -254,15 +269,42 @@ func (s *Server) routes() {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // contain is the per-request containment middleware: it arms the
-// write deadline (Config.WriteTimeout) and converts a handler panic
-// into a structured 500 plus a counted recovery — one poisoned
-// request must not kill the process serving every other stream.
+// write deadline (Config.WriteTimeout), converts a handler panic into
+// a structured 500 plus a counted recovery — one poisoned request
+// must not kill the process serving every other stream — and records
+// the request on the metrics and the structured log.
 func (s *Server) contain(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tw := &trackingWriter{ResponseWriter: w}
+		begin := time.Now()
+		finish := func() {
+			status := tw.status
+			if status == 0 {
+				status = http.StatusOK // body-only (or empty 200) response
+			}
+			d := time.Since(begin)
+			// The SSE watch stream is long-lived by design; its
+			// connection lifetime would drown the latency histogram,
+			// so it is counted but not timed.
+			s.metrics.observeRequest(status, d, r.URL.Path != "/v2/anomalies/watch")
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("component", "http"),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Add(1)
+				s.log.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+					slog.String("component", "http"),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("err", p),
+				)
 				if !tw.wrote {
 					writeErrorV2(tw, &wireError{
 						status:  http.StatusInternalServerError,
@@ -274,6 +316,7 @@ func (s *Server) contain(next http.Handler) http.Handler {
 				// written; the connection is torn down by the panic
 				// counting alone.
 			}
+			finish()
 		}()
 		if s.cfg.WriteTimeout > 0 {
 			// Best effort: test recorders don't support deadlines.
@@ -283,24 +326,32 @@ func (s *Server) contain(next http.Handler) http.Handler {
 	})
 }
 
-// trackingWriter records whether the response has started, so the
+// trackingWriter records whether the response has started (so the
 // recovery middleware knows whether a structured 500 can still be
-// written. It forwards Flush and exposes Unwrap so SSE streaming and
+// written) and the status code (for the request metrics and log). It
+// forwards Flush and exposes Unwrap so SSE streaming and
 // ResponseController deadlines keep working through the wrapper.
 type trackingWriter struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int
 }
 
 // WriteHeader implements http.ResponseWriter.
 func (t *trackingWriter) WriteHeader(code int) {
 	t.wrote = true
+	if t.status == 0 {
+		t.status = code
+	}
 	t.ResponseWriter.WriteHeader(code)
 }
 
 // Write implements http.ResponseWriter.
 func (t *trackingWriter) Write(p []byte) (int, error) {
 	t.wrote = true
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
 	return t.ResponseWriter.Write(p)
 }
 
@@ -400,8 +451,17 @@ var errBodyTooLarge = errors.New("request body too large")
 // ingest is the shared ingest core behind POST /v1/records and
 // POST /v2/records: decode (JSON object, array, or NDJSON), validate
 // the whole batch before feeding anything, then feed or enqueue
-// per-stream groups.
+// per-stream groups. Accepted records are counted on the ingest
+// metrics whether or not the call as a whole errored — Accepted is
+// the contract either way.
 func (s *Server) ingest(r *http.Request) (api.IngestResponse, *wireError) {
+	resp, we := s.ingestCore(r)
+	s.metrics.ingestRecords.Add(uint64(resp.Accepted))
+	return resp, we
+}
+
+// ingestCore is ingest without the accounting.
+func (s *Server) ingestCore(r *http.Request) (api.IngestResponse, *wireError) {
 	resp := api.IngestResponse{Anomalies: []tiresias.Anomaly{}}
 	recs, err := s.decodeRecords(r.Body, r.Header.Get("Content-Type"))
 	if errors.Is(err, errBodyTooLarge) {
@@ -535,6 +595,7 @@ func (s *Server) decodeRecords(body io.Reader, contentType string) ([]api.Record
 	if err != nil {
 		return nil, fmt.Errorf("bad request body: %w", err)
 	}
+	s.metrics.ingestBytes.Add(uint64(len(raw)))
 	if int64(len(raw)) > s.cfg.MaxBodyBytes {
 		return nil, errBodyTooLarge
 	}
@@ -702,15 +763,10 @@ func (s *Server) streamDetailV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.StreamDetail{StreamStatus: st, HeavyHitters: hh})
 }
 
-// statsV2 serves GET /v2/stats.
+// statsV2 serves GET /v2/stats from the same snapshot the /metrics
+// scrape mirrors (see statsSnapshot).
 func (s *Server) statsV2(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.StatsResponse{
-		Manager:  s.mgr.Stats(),
-		Index:    s.ix.Stats(),
-		Watch:    s.hub.stats(),
-		StoreLen: s.store.Len(),
-		Panics:   s.panics.Load(),
-	})
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // healthzV2 serves GET /v2/healthz: always 200 (degraded still means

@@ -36,6 +36,18 @@ type Manager struct {
 	// restored detectors; nil when a bare factory was supplied.
 	detectorOpts []Option
 
+	// stepObs is the engine-step instrumentation hook (nil unless
+	// built with WithStepObserver); it is copied onto each managed
+	// stream at creation and restore so the hot path reads it without
+	// touching the Manager.
+	stepObs func(StageTimings)
+
+	// ckptStatsMu guards ckptStats; a dedicated mutex so Stats never
+	// blocks behind an in-flight Checkpoint (which holds ckptMu for
+	// its whole duration).
+	ckptStatsMu sync.Mutex
+	ckptStats   CheckpointStats // guarded by ckptStatsMu
+
 	// ckptMu serializes Checkpoint calls, so a periodic checkpoint
 	// timer racing an on-demand trigger cannot interleave generation
 	// writes in the same directory.
@@ -89,7 +101,7 @@ func (sh *managerShard) getOrCreate(m *Manager, streamName string) (*managedStre
 	// endpoint.
 	w.SetMaxGap(m.maxGap)
 	w.BindTree(det.tree)
-	ms := &managedStream{det: det, w: w}
+	ms := &managedStream{det: det, w: w, stepObs: m.stepObs}
 	sh.streams[streamName] = ms
 	return ms, nil
 }
@@ -113,6 +125,11 @@ type managedStream struct {
 	// retires it. See quarantine.go.
 	quarantined bool
 	quarReason  string
+
+	// stepObs, when non-nil, receives the engine stage timings of
+	// every completed detection step (copied from the Manager's
+	// WithStepObserver hook). Called under the shard lock.
+	stepObs func(StageTimings)
 }
 
 // managerOptions collects Manager configuration.
@@ -126,6 +143,7 @@ type managerOptions struct {
 	policy       BackpressurePolicy
 	index        *AnomalyIndex
 	observer     func([]AnomalyEntry)
+	stepObs      func(StageTimings)
 	fsys         fault.FS
 }
 
@@ -240,6 +258,7 @@ func NewManager(opts ...ManagerOption) (*Manager, error) {
 		detectorOpts: o.detectorOpts,
 		index:        o.index,
 		observer:     o.observer,
+		stepObs:      o.stepObs,
 		fsys:         o.fsys,
 	}
 	for i := range m.shards {
@@ -396,6 +415,9 @@ func (ms *managedStream) advance(u *algo.DenseUnit) ([]Anomaly, error) {
 	}
 	ms.units++
 	ms.anoms += len(sr.Anomalies)
+	if ms.stepObs != nil && sr.State != nil {
+		ms.stepObs(sr.State.Timings)
+	}
 	return sr.Anomalies, nil
 }
 

@@ -1,0 +1,88 @@
+package tiresias
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStepObserverSeesEveryStep verifies WithStepObserver fires once
+// per completed detection step on the synchronous path and survives a
+// checkpoint/restore cycle.
+func TestStepObserverSeesEveryStep(t *testing.T) {
+	steps := 0
+	m, err := NewManager(
+		WithShards(2),
+		WithStepObserver(func(StageTimings) { steps++ }),
+		WithDetectorOptions(
+			WithDelta(time.Minute),
+			WithWindowLen(8),
+			WithTheta(0.5),
+			WithSeasonality(1.0, 4),
+			WithThresholds(Thresholds{RT: 2.0, DT: 5}),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUnits(t, m, "obs", 40, 20)
+	if steps == 0 {
+		t.Fatal("step observer never fired")
+	}
+	// Warmup units are buffered, not stepped; every post-warmup unit
+	// must be observed. 40 records complete 39 units; the first 8 warm
+	// the window (the warmup replay steps them too).
+	if steps < 20 {
+		t.Fatalf("step observer fired %d times, want >= 20", steps)
+	}
+
+	dir := t.TempDir()
+	if _, err := m.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Checkpoint == nil {
+		t.Fatal("Stats().Checkpoint nil after Checkpoint")
+	}
+	if st.Checkpoint.Checkpoints != 1 || st.Checkpoint.Generation != 1 {
+		t.Fatalf("checkpoint stats = %+v", st.Checkpoint)
+	}
+	if st.Checkpoint.LastStreams != 1 || st.Checkpoint.LastAt.IsZero() {
+		t.Fatalf("checkpoint stats = %+v", st.Checkpoint)
+	}
+	if _, err := m.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.Checkpoint.Checkpoints != 2 || st.Checkpoint.Generation != 2 {
+		t.Fatalf("checkpoint stats after second checkpoint = %+v", st.Checkpoint)
+	}
+
+	// A restored Manager re-attaches the observer to restored streams.
+	restoredSteps := 0
+	m2, err := ManagerFromCheckpoint(dir,
+		WithShards(2),
+		WithStepObserver(func(StageTimings) { restoredSteps++ }),
+		WithDetectorOptions(
+			WithDelta(time.Minute),
+			WithWindowLen(8),
+			WithTheta(0.5),
+			WithSeasonality(1.0, 4),
+			WithThresholds(Thresholds{RT: 2.0, DT: 5}),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats().Checkpoint != nil {
+		t.Fatal("restored Manager must start with zero checkpoint stats")
+	}
+	base := start()
+	for u := 40; u < 45; u++ {
+		if _, err := m2.Feed("obs", Record{Path: []string{"pop", "edge"}, Time: base.Add(time.Duration(u) * time.Minute)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restoredSteps == 0 {
+		t.Fatal("step observer not re-attached to restored stream")
+	}
+}

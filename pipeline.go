@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // BackpressurePolicy selects what EnqueueBatch does when the target
@@ -84,6 +85,20 @@ func WithAnomalyIndex(ix *AnomalyIndex) ManagerOption {
 // sequence order; within one stream they are always in order.
 func WithAnomalyObserver(f func(entries []AnomalyEntry)) ManagerOption {
 	return managerOptionFunc(func(o *managerOptions) { o.observer = f })
+}
+
+// WithStepObserver registers an engine-step instrumentation hook: f
+// receives the StageTimings of every completed detection step on any
+// ingestion path (Feed, FeedBatch, Flush, pipeline workers), for all
+// streams — the feed behind the serving layer's engine-latency
+// histograms. To keep metric cardinality bounded the hook is
+// deliberately anonymous: it carries no stream name.
+//
+// f runs on the detecting goroutine under its shard lock, so it must
+// return quickly and must never block; lock-free counters and
+// histograms are the intended consumers.
+func WithStepObserver(f func(timings StageTimings)) ManagerOption {
+	return managerOptionFunc(func(o *managerOptions) { o.stepObs = f })
 }
 
 // ErrQueueFull is returned by Enqueue/EnqueueBatch under the
@@ -398,6 +413,25 @@ type ShardStats struct {
 	Pipeline *PipelineStats `json:"pipeline,omitempty"`
 }
 
+// CheckpointStats records the Manager's checkpoint history: how many
+// checkpoints committed, and the shape of the most recent one. The
+// zero value means no checkpoint has committed since construction
+// (restoring from a checkpoint does not count as one).
+type CheckpointStats struct {
+	// Checkpoints counts committed checkpoints since construction.
+	Checkpoints uint64 `json:"checkpoints"`
+	// Generation is the committed generation number of the last
+	// checkpoint (the NNNNNNNN in its ckpt-NNNNNNNN directory).
+	Generation int `json:"generation"`
+	// LastStreams is the number of streams the last checkpoint wrote.
+	LastStreams int `json:"lastStreams"`
+	// LastDurationSeconds is the wall-clock cost of the last
+	// checkpoint, drain included.
+	LastDurationSeconds float64 `json:"lastDurationSeconds"`
+	// LastAt is the commit time of the last checkpoint.
+	LastAt time.Time `json:"lastAt"`
+}
+
 // ManagerStats is a point-in-time snapshot of a Manager's throughput
 // and, when pipelined, queue state — the manager section of the
 // serving layer's /v2/stats payload.
@@ -423,6 +457,9 @@ type ManagerStats struct {
 	Failed    uint64 `json:"failed,omitempty"`
 	// Shards details each shard.
 	Shards []ShardStats `json:"shards"`
+	// Checkpoint summarizes checkpoint history (nil until the first
+	// Checkpoint commits).
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
 }
 
 // Stats snapshots per-shard throughput, anomaly counts, and — on a
@@ -474,5 +511,11 @@ func (m *Manager) Stats() ManagerStats {
 		out.Pipelined = true
 		out.Policy = m.pipe.policy.String()
 	}
+	m.ckptStatsMu.Lock()
+	if m.ckptStats.Checkpoints > 0 {
+		cs := m.ckptStats
+		out.Checkpoint = &cs
+	}
+	m.ckptStatsMu.Unlock()
 	return out
 }
