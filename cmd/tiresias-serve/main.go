@@ -85,11 +85,18 @@ func main() {
 	// "queued": true flows through detection before the process exits.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// ListenAndServe returns ErrServerClosed the moment Shutdown closes
+	// the listeners, while in-flight handlers may still be running inside
+	// the grace window — so main must block on shutdownDone before
+	// finish(), or the final handoff checkpoint could race handlers that
+	// are still acknowledging ingests.
+	shutdownDone := make(chan struct{})
 	go func() {
 		<-sig
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = p.srv.Shutdown(ctx)
+		close(shutdownDone)
 	}()
 	if p.pprofAddr != "" {
 		go func() {
@@ -105,6 +112,7 @@ func main() {
 		p.log.Error("listener failed", "err", err.Error())
 		os.Exit(1)
 	}
+	<-shutdownDone
 	if err := p.finish(); err != nil {
 		p.log.Error("shutdown failed", "err", err.Error())
 		os.Exit(1)

@@ -595,10 +595,22 @@ func (s *Server) decodeRecords(body io.Reader, contentType string) ([]api.Record
 	if err != nil {
 		return nil, fmt.Errorf("bad request body: %w", err)
 	}
-	s.metrics.ingestBytes.Add(uint64(len(raw)))
 	if int64(len(raw)) > s.cfg.MaxBodyBytes {
 		return nil, errBodyTooLarge
 	}
+	recs, err := parseRecords(raw, contentType)
+	if err != nil {
+		return nil, err
+	}
+	// Counted only once the body has both passed the size limit and
+	// decoded, so tiresias_ingest_bytes_total stays comparable to
+	// tiresias_ingest_records_total (rejected bodies count in neither).
+	s.metrics.ingestBytes.Add(uint64(len(raw)))
+	return recs, nil
+}
+
+// parseRecords decodes a size-checked ingest body.
+func parseRecords(raw []byte, contentType string) ([]api.Record, error) {
 	trimmed := bytes.TrimSpace(raw)
 	if len(trimmed) == 0 {
 		return nil, fmt.Errorf("empty request body")

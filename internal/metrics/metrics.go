@@ -329,11 +329,13 @@ func DurationBuckets() []float64 {
 }
 
 // labelKey renders a label set as a canonical map key for duplicate
-// detection.
+// detection. Names and values are individually quoted so a value (or
+// name) containing ',' or '=' cannot collide with a different label
+// set's key.
 func labelKey(lbls []Label) string {
 	parts := make([]string, len(lbls))
 	for i, l := range lbls {
-		parts[i] = l.Name + "=" + l.Value
+		parts[i] = strconv.Quote(l.Name) + "=" + strconv.Quote(l.Value)
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, ",")
