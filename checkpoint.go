@@ -45,6 +45,8 @@ var ErrBadCheckpoint = checkpoint.ErrBadCheckpoint
 // position including the partial unit. Like every other method,
 // Snapshot is not safe to call concurrently with detector use; a
 // Manager checkpoints its streams under their shard locks.
+//
+//tiresias:acquires nothing
 func (t *Tiresias) Snapshot(w io.Writer) error {
 	snap, err := t.snapshotState()
 	if err != nil {
@@ -86,6 +88,8 @@ func (t *Tiresias) snapshotState() (*checkpoint.Snapshot, error) {
 // Invalid input — truncated, corrupted (per-section CRC), or written
 // by an unknown format version — is rejected with an error wrapping
 // ErrBadCheckpoint.
+//
+//tiresias:acquires nothing
 func Restore(r io.Reader, opts ...Option) (*Tiresias, error) {
 	snap, err := checkpoint.Read(r)
 	if err != nil {
@@ -238,6 +242,8 @@ var ErrNoCheckpoint = errors.New("tiresias: no checkpoint in directory")
 // in-memory state mid-update, so serializing it would persist
 // corruption — the last committed generation keeps their last good
 // snapshot instead.
+//
+//tiresias:acquires Manager.ckptMu, pipeline.mu, managerShard.mu, Manager.ckptStatsMu
 func (m *Manager) Checkpoint(dir string) (int, error) {
 	start := time.Now()
 	m.ckptMu.Lock()

@@ -1,19 +1,23 @@
 // Command tiresias-vet is the repo's invariant checker: a multichecker
-// running the internal/analysis suite (hotpath, lockguard, wireerr,
-// ckptsec, forbidimport) over the given packages. It exits non-zero
-// when any analyzer reports a finding, so CI can run it as a blocking
-// lint step:
+// running the internal/analysis suite (hotpath, escapecheck, lockguard,
+// lockorder, goroline, atomiccheck, wireerr, ckptsec, forbidimport)
+// over the given packages. It exits non-zero when any analyzer reports
+// a finding, so CI can run it as a blocking lint step:
 //
 //	go run ./cmd/tiresias-vet ./...
 //
 // Findings are printed one per line as file:line:col: [analyzer]
-// message. A finding can be suppressed — deliberately and reviewably —
-// with a trailing or preceding `//tiresias:ignore [analyzer ...]`
-// comment at the flagged line.
+// message, or — with -json — as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout, for machine
+// consumption (CI step summaries, editor integrations). A finding can
+// be suppressed — deliberately and reviewably — with a trailing or
+// preceding `//tiresias:ignore [analyzer ...] (justification)` comment
+// at the flagged line.
 //
 // Flags:
 //
 //	-only name[,name...]   run only the named analyzers
+//	-json                  emit findings as a JSON array on stdout
 //	-forbid pkg=entry,...  replace the forbidimport denylist: entries
 //	                       containing a slash (or no dot) ban imports,
 //	                       entries of the form pkg.Ident ban calls; the
@@ -22,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,11 +44,24 @@ func (f *forbidFlags) String() string { return strings.Join(*f, " ") }
 // Set implements flag.Value.
 func (f *forbidFlags) Set(v string) error { *f = append(*f, v); return nil }
 
+// jsonFinding is the machine-readable shape of one diagnostic. Type
+// errors are reported under the pseudo-analyzer "typecheck" so a JSON
+// consumer sees every reason the run failed in one stream.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		forbids forbidFlags
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		forbids  forbidFlags
+		findings []jsonFinding
 	)
 	flag.Var(&forbids, "forbid", "forbidimport rule pkg=entry[,entry...] (repeatable; replaces the default denylist)")
 	flag.Parse()
@@ -76,17 +94,44 @@ func main() {
 	failed := false
 	for _, pkg := range pkgs {
 		for _, e := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "tiresias-vet: %s: %v\n", pkg.PkgPath, e)
 			failed = true
+			if *jsonOut {
+				findings = append(findings, jsonFinding{Analyzer: "typecheck", Message: fmt.Sprintf("%s: %v", pkg.PkgPath, e)})
+			} else {
+				fmt.Fprintf(os.Stderr, "tiresias-vet: %s: %v\n", pkg.PkgPath, e)
+			}
 		}
-		diags, err := analysis.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tiresias-vet: %v\n", err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tiresias-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		failed = true
+		if *jsonOut {
+			findings = append(findings, jsonFinding{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		} else {
 			fmt.Println(d)
-			failed = true
+		}
+	}
+	if *jsonOut {
+		// Always an array — `[]` on a clean tree — so consumers can
+		// jq without guarding against null.
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "tiresias-vet: encoding findings: %v\n", err)
+			os.Exit(2)
 		}
 	}
 	if failed {
@@ -106,7 +151,11 @@ func suite(forbids forbidFlags) []*analysis.Analyzer {
 	}
 	return []*analysis.Analyzer{
 		analysis.Hotpath,
+		analysis.Escapecheck,
 		analysis.Lockguard,
+		analysis.Lockorder,
+		analysis.NewGoroline(nil),
+		analysis.Atomiccheck,
 		analysis.Wireerr,
 		analysis.Ckptsec,
 		analysis.NewForbidImport(rules),

@@ -5,10 +5,25 @@
 // codebase's load-bearing runtime invariants into compile-time facts:
 //
 //   - hotpath: functions annotated //tiresias:hotpath must avoid
-//     allocation-prone constructs (the static backstop for the
+//     allocation-prone constructs (the fast in-editor pass backing the
 //     AllocsPerRun benchmarks).
+//   - escapecheck: the same annotation, witnessed by the compiler —
+//     `go build -gcflags=-m=2` escape diagnostics landing inside a
+//     hotpath function (including code inlined into it) fail the
+//     build.
 //   - lockguard: struct fields documented "guarded by <mu>" may only
 //     be touched while that mutex is held.
+//   - lockorder: the lock-acquisition-order graph, built
+//     inter-procedurally across every loaded package, must be acyclic,
+//     re-entrant-free, and consistent with the hierarchy declared by
+//     //tiresias:lockorder directives in package docs.
+//   - goroline: every go statement in the concurrent library packages
+//     must have a visible shutdown path; timer-leaking
+//     time.After/time.Tick in loops and unbuffered-channel sends under
+//     a mutex are flagged.
+//   - atomiccheck: a field touched through sync/atomic anywhere must
+//     be touched atomically everywhere, and values containing
+//     sync/atomic types must not be copied.
 //   - wireerr: the api package's sentinel↔code maps must stay
 //     bidirectionally complete, so errors.Is works across the wire.
 //   - ckptsec: every checkpoint section tag must be handled by both
@@ -17,14 +32,18 @@
 //   - forbidimport: hot-path packages must not import or call a
 //     configured denylist (encoding/json, fmt.Sprintf, time.Now).
 //
-// Analyzers run per package over parsed, type-checked syntax. A
-// finding can be suppressed at its line (or the line above) with a
+// Analyzers run over parsed, type-checked syntax — per package (Run),
+// or once over every loaded package (RunModule, for inter-procedural
+// checks like lockorder). A finding can be suppressed at its line (or
+// the line above) with a
 //
-//	//tiresias:ignore [analyzer ...]
+//	//tiresias:ignore [analyzer ...] (justification)
 //
 // comment; with no analyzer names the directive suppresses every
-// analyzer on that line. Suppressions are deliberate, reviewable
-// exemptions — prefer fixing the finding.
+// analyzer on that line. The parenthesized justification is mandatory:
+// a directive without one is itself reported and suppresses nothing.
+// Suppressions are deliberate, reviewable exemptions — prefer fixing
+// the finding.
 package analysis
 
 import (
@@ -37,8 +56,10 @@ import (
 )
 
 // Analyzer is one static check: a name (used in diagnostics and in
-// //tiresias:ignore directives), a one-paragraph doc, and the per-
-// package Run function.
+// //tiresias:ignore directives), a one-paragraph doc, and exactly one
+// of the two run functions — Run for per-package checks, RunModule for
+// checks that need every loaded package at once (inter-procedural
+// analyses whose facts cross package boundaries).
 type Analyzer struct {
 	// Name identifies the analyzer in output and ignore directives.
 	Name string
@@ -46,6 +67,9 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes one package, reporting findings via pass.Reportf.
 	Run func(pass *Pass) error
+	// RunModule analyzes every loaded package together, reporting
+	// findings via pass.Reportf with the owning package.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass carries one package's parsed and type-checked syntax to an
@@ -61,8 +85,34 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo records type and object resolution for Files.
 	TypesInfo *types.Info
+	// Dir is the package's source directory on disk — the working
+	// directory for analyzers that shell out to the go tool
+	// (escapecheck).
+	Dir string
 
 	diags []Diagnostic
+}
+
+// ModulePass carries every loaded package to a module-level analyzer's
+// RunModule function, and collects its diagnostics.
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkgs is every loaded package, in load order.
+	Pkgs []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records one finding at pos, resolved against the owning
+// package's FileSet.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records one finding at pos.
@@ -101,11 +151,16 @@ const ignoreDirective = "//tiresias:ignore"
 type ignores map[string]map[string]bool
 
 // collectIgnores scans every comment of every file for
-// //tiresias:ignore directives. A directive suppresses matching
-// diagnostics on its own line and on the line directly below it (so
-// it can trail the flagged statement or sit on its own line above).
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignores {
-	ig := ignores{}
+// //tiresias:ignore directives, accumulating them into ig. A directive
+// suppresses matching diagnostics on its own line and on the line
+// directly below it (so it can trail the flagged statement or sit on
+// its own line above a statement — including a multi-line one, whose
+// diagnostics anchor to its first line). A directive without a
+// parenthesized justification is rejected: it suppresses nothing and
+// is returned as a diagnostic of its own, so an exemption can never be
+// silent about why it exists.
+func collectIgnores(fset *token.FileSet, files []*ast.File, ig ignores) []Diagnostic {
+	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -118,15 +173,35 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignores {
 					continue
 				}
 				names := strings.Fields(text)
-				// Strip a trailing justification: everything after the
-				// analyzer names, conventionally in parentheses.
+				// The analyzer names end where the mandatory
+				// justification starts: a parenthesized free-text
+				// reason.
+				justified := false
 				for i, n := range names {
 					if strings.HasPrefix(n, "(") {
+						// The justification runs to the closing paren
+						// (or the end of the comment if unclosed);
+						// "()" is an empty justification, which is no
+						// justification.
+						reason := strings.TrimPrefix(strings.Join(names[i:], " "), "(")
+						if close := strings.Index(reason, ")"); close >= 0 {
+							reason = reason[:close]
+						}
+						justified = strings.TrimSpace(reason) != ""
 						names = names[:i]
 						break
 					}
 				}
 				pos := fset.Position(c.Pos())
+				if !justified {
+					bad = append(bad, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      c.Pos(),
+						Position: pos,
+						Message:  "ignore directive missing its justification: write //tiresias:ignore [analyzer ...] (reason) — the directive is not honored",
+					})
+					continue
+				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					key := fmt.Sprintf("%s:%d", pos.Filename, line)
 					set := ig[key]
@@ -144,7 +219,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignores {
 			}
 		}
 	}
-	return ig
+	return bad
 }
 
 // suppressed reports whether d is covered by an ignore directive.
@@ -153,28 +228,47 @@ func (ig ignores) suppressed(d Diagnostic) bool {
 	return set != nil && (set["*"] || set[d.Analyzer])
 }
 
-// RunAnalyzers applies the given analyzers to one loaded package,
-// returning the surviving (non-suppressed) findings sorted by
-// position. Analyzer run errors (not findings) are returned as an
-// error.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	ig := collectIgnores(pkg.Fset, pkg.Files)
+// RunAnalyzers applies the given analyzers to the loaded packages —
+// per-package analyzers to each package, module analyzers once over
+// the whole set — returning the surviving (non-suppressed) findings
+// sorted by position. Unjustified ignore directives are reported as
+// findings of the pseudo-analyzer "ignore". Analyzer run errors (not
+// findings) are returned as an error.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ig := ignores{}
 	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, collectIgnores(pkg.Fset, pkg.Files, ig)...)
+	}
+	var raw []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-		}
-		if err := a.Run(pass); err != nil {
-			return out, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
-		}
-		for _, d := range pass.diags {
-			if !ig.suppressed(d) {
-				out = append(out, d)
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.TypesInfo,
+					Dir:       pkg.Dir,
+				}
+				if err := a.Run(pass); err != nil {
+					return out, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+				}
+				raw = append(raw, pass.diags...)
 			}
+		}
+		if a.RunModule != nil {
+			pass := &ModulePass{Analyzer: a, Pkgs: pkgs}
+			if err := a.RunModule(pass); err != nil {
+				return out, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			raw = append(raw, pass.diags...)
+		}
+	}
+	for _, d := range raw {
+		if !ig.suppressed(d) {
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

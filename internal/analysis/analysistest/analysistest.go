@@ -62,13 +62,17 @@ func Run(t *testing.T, fixture string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("resolving fixture imports: %v", err)
 	}
-	pkg := &analysis.Package{PkgPath: fixture, Fset: fset, Files: files}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("resolving fixture dir: %v", err)
+	}
+	pkg := &analysis.Package{PkgPath: fixture, Dir: absDir, Fset: fset, Files: files}
 	pkg.Types, pkg.TypesInfo, pkg.TypeErrors = analysis.CheckTypes(fset, fixture, files, exports)
 	for _, e := range pkg.TypeErrors {
 		t.Errorf("fixture %s: type error: %v", fixture, e)
 	}
 
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
 	}

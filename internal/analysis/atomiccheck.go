@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomiccheck enforces the two rules that make sync/atomic sound:
+//
+//   - Consistency: a variable or field passed by address to a
+//     sync/atomic function anywhere in the package is atomic
+//     everywhere — any plain (non-atomic) read or write of the same
+//     object is flagged, because one racy plain access invalidates
+//     every atomic one. (The typed wrappers — atomic.Uint64,
+//     atomic.Value — make this impossible by construction; the check
+//     matters for the legacy pass-by-pointer style.)
+//   - No copies: a value whose type contains a sync/atomic type
+//     (atomic.Value, atomic.Uint64, ...) must not be copied — value
+//     receivers, value assignments from existing values, by-value call
+//     arguments, and range-clause element copies all tear the atomic's
+//     identity, exactly like copying a sync.Mutex.
+//
+// Suppress a deliberate exception with
+// //tiresias:ignore atomiccheck (reason).
+var Atomiccheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "fields touched via sync/atomic must be atomic everywhere; values containing sync/atomic types must not be copied",
+	Run:  runAtomiccheck,
+}
+
+func runAtomiccheck(pass *Pass) error {
+	atomicObjs, atomicUses := collectAtomicObjects(pass)
+	for _, f := range pass.Files {
+		checkMixedAccess(pass, f, atomicObjs, atomicUses)
+		checkAtomicCopies(pass, f)
+	}
+	return nil
+}
+
+// collectAtomicObjects finds every object (variable or struct field)
+// passed by address to a sync/atomic function, returning the object
+// set and the identifier uses that are part of those atomic calls
+// (which are therefore not plain accesses).
+func collectAtomicObjects(pass *Pass) (map[types.Object]string, map[*ast.Ident]bool) {
+	objs := map[types.Object]string{}
+	uses := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Only the package-level functions take &x; the typed
+			// wrappers' methods have receivers, not pointer args.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				obj, ids := addressedObject(pass, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := objs[obj]; !seen {
+					objs[obj] = "atomic." + fn.Name()
+				}
+				for _, id := range ids {
+					uses[id] = true
+				}
+			}
+			return true
+		})
+	}
+	return objs, uses
+}
+
+// addressedObject resolves &expr's target object and the identifiers
+// that name it in the expression.
+func addressedObject(pass *Pass, e ast.Expr) (types.Object, []*ast.Ident) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[x]
+		}
+		return obj, []*ast.Ident{x}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return s.Obj(), []*ast.Ident{x.Sel}
+		}
+	}
+	return nil, nil
+}
+
+// checkMixedAccess flags plain reads and writes of objects that are
+// accessed atomically elsewhere.
+func checkMixedAccess(pass *Pass, f *ast.File, objs map[types.Object]string, atomicUses map[*ast.Ident]bool) {
+	if len(objs) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || atomicUses[id] {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		via, tracked := objs[obj]
+		if !tracked {
+			return true
+		}
+		pass.Reportf(id.Pos(), "plain access of %s, which is accessed atomically elsewhere (via %s): one non-atomic access races with every atomic one", id.Name, via)
+		return true
+	})
+}
+
+// checkAtomicCopies flags copies of values whose types contain
+// sync/atomic types.
+func checkAtomicCopies(pass *Pass, f *ast.File) {
+	// The seen set is per query: it breaks recursive types, not memoizes
+	// (a visited-but-atomic-free marking would poison later queries).
+	hasAtomic := func(t types.Type) bool { return typeContainsAtomic(t, map[types.Type]bool{}) }
+
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		// Value receivers on atomic-bearing types: every call copies.
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			rt := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			if rt != nil {
+				if _, ptr := rt.(*types.Pointer); !ptr && hasAtomic(rt) {
+					pass.Reportf(fd.Recv.Pos(), "method %s has a value receiver, but %s contains sync/atomic types: every call copies the atomic — use a pointer receiver", fd.Name.Name, rt.String())
+				}
+			}
+		}
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					if copiesAtomicValue(pass, rhs, hasAtomic) {
+						pass.Reportf(rhs.Pos(), "assignment copies %s, which contains sync/atomic types: the copy and the original update independently", copyExprString(rhs))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if copiesAtomicValue(pass, arg, hasAtomic) {
+						pass.Reportf(arg.Pos(), "call passes %s by value, which contains sync/atomic types: the callee gets a torn copy — pass a pointer", copyExprString(arg))
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				vt := pass.TypesInfo.TypeOf(x.Value)
+				if vt == nil {
+					return true
+				}
+				if _, ptr := vt.(*types.Pointer); !ptr && hasAtomic(vt) {
+					pass.Reportf(x.Value.Pos(), "range clause copies elements containing sync/atomic types into %s: updates to the copy are lost — range over the index or use pointer elements", exprString(x.Value))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// copyExprString renders a copied expression, keeping the dereference
+// visible (exprString flattens *s to s).
+func copyExprString(e ast.Expr) string {
+	if st, ok := e.(*ast.StarExpr); ok {
+		return "*" + copyExprString(st.X)
+	}
+	return exprString(e)
+}
+
+// copiesAtomicValue reports whether e is a by-value use of an existing
+// atomic-bearing value. Creations (composite literals, calls) are new
+// values, not copies; pointers and addresses never tear.
+func copiesAtomicValue(pass *Pass, e ast.Expr, hasAtomic func(types.Type) bool) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, ptr := t.(*types.Pointer); ptr {
+		return false
+	}
+	return hasAtomic(t)
+}
+
+// typeContainsAtomic reports whether t is, or (through struct fields
+// and array elements) contains, a named sync/atomic type.
+func typeContainsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+		return typeContainsAtomic(n.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeContainsAtomic(u.Elem(), seen)
+	}
+	return false
+}

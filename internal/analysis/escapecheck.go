@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Escapecheck is the compiler-witnessed half of the hot-path
+// allocation contract. Where the hotpath analyzer pattern-matches
+// allocation-prone syntax (fast, in-editor, but a heuristic),
+// escapecheck asks the authority: it compiles the package with
+// `go build -gcflags=-m=2`, parses the escape-analysis diagnostics,
+// and fails when a value escapes to the heap inside a function
+// annotated //tiresias:hotpath.
+//
+// Because the gc compiler attributes an inlined callee's escape
+// diagnostics to the inlining call site, code inlined into a hotpath
+// function is covered automatically: a helper whose grow-path `make`
+// is inlined into the hot loop reports at the hot loop's line. This
+// turns the AllocsPerRun benchmarks' "0 allocs/op warm" result into a
+// static invariant that survives refactors even when the benchmarks
+// are not run — the benchmark proves today's binary, escapecheck
+// proves every build.
+//
+// Grow-path allocations that a reuse check keeps off the steady state
+// (cap(s) < n → make) are real escapes the compiler cannot rule out;
+// exempt them in place with //tiresias:ignore escapecheck (reason).
+// Packages with no //tiresias:hotpath annotation are skipped without
+// invoking the compiler.
+var Escapecheck = &Analyzer{
+	Name: "escapecheck",
+	Doc:  "fail when the compiler's escape analysis reports a heap escape inside a //tiresias:hotpath function",
+	Run:  runEscapecheck,
+}
+
+// escapeDiagRe matches one compiler diagnostic line:
+// path.go:line:col: message.
+var escapeDiagRe = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (\S.*)$`)
+
+// hotRange is the body extent of one annotated function, in lines of
+// one file.
+type hotRange struct {
+	fn         string
+	start, end int
+}
+
+func runEscapecheck(pass *Pass) error {
+	// Hot ranges per file basename; basenames are unique within a
+	// package, and the compiler's output paths vary with the build
+	// cache's working directory, so the basename is the stable join
+	// key.
+	hot := map[string][]hotRange{}
+	files := map[string]*token.File{}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		base := filepath.Base(tf.Name())
+		files[base] = tf
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			hot[base] = append(hot[base], hotRange{
+				fn:    fd.Name.Name,
+				start: pass.Fset.Position(fd.Pos()).Line,
+				end:   pass.Fset.Position(fd.Body.End()).Line,
+			})
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	if pass.Dir == "" {
+		return fmt.Errorf("escapecheck: package %s has no source directory", pass.Pkg.Path())
+	}
+
+	// The go tool resolves the module from the working directory, so
+	// run the build from inside the package itself. Diagnostics replay
+	// from the build cache on repeated runs; -m=2 output is part of
+	// the cache key, so the first run per toolchain pays one compile.
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", ".")
+	cmd.Dir = pass.Dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("escapecheck: go build -gcflags=-m=2 in %s: %v\n%s", pass.Dir, err, out)
+	}
+
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := escapeDiagRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		base := filepath.Base(m[1])
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		var fn string
+		for _, r := range hot[base] {
+			if line >= r.start && line <= r.end {
+				fn = r.fn
+				break
+			}
+		}
+		if fn == "" {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", base, line, col, msg)
+		if seen[key] {
+			// -m=2 prints each escape twice: once heading its flow
+			// trace, once in the plain -m summary.
+			continue
+		}
+		seen[key] = true
+		pass.Reportf(diagPos(files[base], line, col), "hot path %s: %s (compiler escape analysis)", fn, msg)
+	}
+	return sc.Err()
+}
+
+// diagPos resolves a compiler file/line/col diagnostic to a token.Pos
+// in tf, clamping the column to the line.
+func diagPos(tf *token.File, line, col int) token.Pos {
+	if line < 1 || line > tf.LineCount() {
+		return tf.Pos(0)
+	}
+	p := tf.LineStart(line) + token.Pos(col-1)
+	if int(p) >= tf.Base()+tf.Size() {
+		return tf.LineStart(line)
+	}
+	return p
+}

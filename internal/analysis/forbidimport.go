@@ -119,7 +119,11 @@ func runForbidImport(pass *Pass, rules []ForbidRule) error {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Hotpath,
+		Escapecheck,
 		Lockguard,
+		Lockorder,
+		NewGoroline(nil),
+		Atomiccheck,
 		Wireerr,
 		Ckptsec,
 		NewForbidImport(nil),

@@ -66,11 +66,26 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 	reusable := reusableSlices(pass, fd)
 	name := fd.Name.Name
+	// Selectors in call position are calls, not method values; collect
+	// them so the SelectorExpr case below only sees bindings.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[call.Fun] = true
+		}
+		return true
+	})
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
 			pass.Reportf(x.Pos(), "hot path %s: closure literal (captured variables escape to the heap)", name)
 			return false // the closure body is not the hot path
+		case *ast.SelectorExpr:
+			if !callFuns[x] {
+				if s, ok := pass.TypesInfo.Selections[x]; ok && s.Kind() == types.MethodVal {
+					pass.Reportf(x.Pos(), "hot path %s: method value %s allocates a closure binding its receiver", name, exprString(x))
+				}
+			}
 		case *ast.CompositeLit:
 			checkHotComposite(pass, name, x)
 		case *ast.UnaryExpr:
@@ -162,15 +177,44 @@ func checkHotAppend(pass *Pass, fn string, call *ast.CallExpr, reusable map[type
 	if len(call.Args) == 0 {
 		return
 	}
-	switch dst := call.Args[0].(type) {
+	checkAppendDst(pass, fn, call, call.Args[0], reusable)
+}
+
+// checkAppendDst judges one append destination, unwrapping the shapes
+// that do not change the backing array: parenthesization and
+// conversions to named slice types (append(floats(buf), x) appends to
+// buf's array, so buf's reuse status is what matters).
+func checkAppendDst(pass *Pass, fn string, call *ast.CallExpr, dst ast.Expr, reusable map[types.Object]bool) {
+	switch d := dst.(type) {
+	case *ast.ParenExpr:
+		checkAppendDst(pass, fn, call, d.X, reusable)
+	case *ast.CallExpr:
+		// A conversion through a named slice type is transparent to the
+		// backing array; judge the operand.
+		if tv, ok := pass.TypesInfo.Types[d.Fun]; ok && tv.IsType() && len(d.Args) == 1 {
+			checkAppendDst(pass, fn, call, d.Args[0], reusable)
+		}
 	case *ast.SelectorExpr:
 		return // field access: pooled/reused by convention
+	case *ast.IndexExpr:
+		// s.bufs[i] follows the field convention; locals indexed into
+		// are judged like plain locals.
+		if _, isSel := d.X.(*ast.SelectorExpr); isSel {
+			return
+		}
+		if id, isIdent := d.X.(*ast.Ident); isIdent {
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || reusable[obj] {
+				return
+			}
+			pass.Reportf(call.Pos(), "hot path %s: append to %s, which is never preallocated (use a reused buffer or make with capacity)", fn, exprString(d))
+		}
 	case *ast.Ident:
-		obj := pass.TypesInfo.Uses[dst]
+		obj := pass.TypesInfo.Uses[d]
 		if obj == nil || reusable[obj] {
 			return
 		}
-		pass.Reportf(call.Pos(), "hot path %s: append to %s, which is never preallocated (use a reused buffer or make with capacity)", fn, dst.Name)
+		pass.Reportf(call.Pos(), "hot path %s: append to %s, which is never preallocated (use a reused buffer or make with capacity)", fn, d.Name)
 	}
 }
 

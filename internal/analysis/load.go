@@ -28,6 +28,8 @@ import (
 type Package struct {
 	// PkgPath is the import path.
 	PkgPath string
+	// Dir is the package's source directory.
+	Dir string
 	// Fset resolves the positions of Files.
 	Fset *token.FileSet
 	// Files is the parsed syntax of the package's non-test Go files.
@@ -115,7 +117,7 @@ func typecheck(lp *listedPackage, exports map[string]string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
-	pkg := &Package{PkgPath: lp.ImportPath, Fset: fset, Files: files}
+	pkg := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Fset: fset, Files: files}
 	pkg.Types, pkg.TypesInfo, pkg.TypeErrors = CheckTypes(fset, lp.ImportPath, files, exports)
 	return pkg, nil
 }

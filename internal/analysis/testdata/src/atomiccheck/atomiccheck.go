@@ -1,0 +1,81 @@
+// Package atomiccheck is a tiresias-vet fixture for the atomics
+// analyzer: mixed plain/atomic access and copies of atomic-bearing
+// values fire; disciplined use stays silent.
+package atomiccheck
+
+import "sync/atomic"
+
+// counter mixes a legacy pass-by-pointer atomic with plain state.
+type counter struct {
+	n    uint64
+	safe uint64
+}
+
+// inc is the atomic side of the contract.
+func inc(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// read is the consistent way back.
+func read(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// mixed touches the same field without the atomic: the race the
+// analyzer exists for.
+func mixed(c *counter) uint64 {
+	c.safe = 7 // no finding: never touched atomically
+	return c.n // want `plain access of n`
+}
+
+// mixedWrite pins the write side.
+func mixedWrite(c *counter) {
+	c.n = 0 // want `plain access of n`
+}
+
+// mixedIgnored pins the suppression path.
+func mixedIgnored(c *counter) uint64 {
+	return c.n //tiresias:ignore atomiccheck (fixture: pinning the suppression path)
+}
+
+// stats embeds typed atomics: copying it tears them.
+type stats struct {
+	hits atomic.Uint64
+	val  atomic.Value
+}
+
+// Hits copies the whole struct on every call.
+func (s stats) Hits() uint64 { // want `value receiver`
+	return s.hits.Load()
+}
+
+// HitsPtr is the sound form.
+func (s *stats) HitsPtr() uint64 {
+	return s.hits.Load()
+}
+
+// use takes stats by value so pass can demonstrate the by-value call.
+func use(s stats) {}
+
+// copies pins the assignment, call-argument, and suppressed copies.
+func copies(s *stats) {
+	cp := *s // want `assignment copies \*s`
+	_ = cp.hits.Load()
+	use(*s) // want `passes \*s by value`
+	p := s  // no finding: pointer copy
+	_ = p
+	cp2 := *s //tiresias:ignore atomiccheck (fixture: pinning the suppression path)
+	_ = cp2.hits.Load()
+}
+
+// sum pins the range-clause copy and the index foil.
+func sum(all []stats) uint64 {
+	var t uint64
+	for _, s := range all { // want `range clause copies`
+		t += s.hits.Load()
+	}
+	for i := range all { // no finding: index only
+		t += all[i].hits.Load()
+	}
+	return t
+}

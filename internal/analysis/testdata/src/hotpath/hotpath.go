@@ -65,6 +65,39 @@ func hotIgnored() *buf {
 	return &buf{} //tiresias:ignore hotpath (fixture: pinning the suppression path)
 }
 
+// grow exists to be bound as a method value.
+func (b *buf) grow() {}
+
+// floats is a named slice type: appending through a conversion to it
+// is still an append to the operand's backing array.
+type floats []float64
+
+// hotMethodValue pins the method-value diagnostic: binding b.grow
+// allocates a closure, while calling it does not.
+//
+//tiresias:hotpath
+func hotMethodValue(b *buf) func() {
+	b.grow()    // no finding: call position
+	g := b.grow // want `method value b\.grow allocates a closure`
+	return g
+}
+
+// hotNamedAppend pins append destinations reached through a named
+// slice conversion or an index expression.
+//
+//tiresias:hotpath
+func hotNamedAppend(b *buf, in []float64) {
+	var local []float64
+	local = append(floats(local), 1) // want `append to local`
+	_ = local
+	reused := in[:0]
+	reused = append(floats(reused), 2) // no finding: reused backing array
+	_ = reused
+	tbl := make([][]int, 1)    // want `make allocates`
+	tbl[0] = append(tbl[0], 3) // want `append to tbl\[0\]`
+	_ = tbl
+}
+
 // cold is unannotated: nothing in it is reported.
 func cold() *buf {
 	return &buf{scratch: make([]int, 0, 4)}

@@ -1,0 +1,111 @@
+// Package lockorder is a tiresias-vet fixture for the lock-order
+// analyzer: every deadlock shape it detects fires once, and the
+// declared-hierarchy machinery is pinned from both sides.
+//
+//tiresias:lockorder A.mu < B.mu
+//tiresias:lockorder A.mu < E.mu
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+// reversed takes the declared pair in the wrong order.
+func reversed(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order violation`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// sideways takes two declared classes with no declared order between
+// them.
+func sideways(b *B, e *E) {
+	b.mu.Lock()
+	e.mu.Lock() // want `undeclared lock-order edge`
+	e.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// cycleCD and cycleDC take two undeclared classes in opposite orders:
+// a cycle even though each function is locally consistent.
+func cycleCD(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock() // want `lock-order cycle`
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func cycleDC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// reentrant locks the same instance twice.
+func reentrant(c *C) {
+	c.mu.Lock()
+	c.mu.Lock() // want `re-entrant lock of C\.mu`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// twoInstances locks two instances of one class with no declared
+// instance order.
+func twoInstances(c1, c2 *C) {
+	c1.mu.Lock()
+	c2.mu.Lock() // want `two instances of one lock class`
+	c2.mu.Unlock()
+	c1.mu.Unlock()
+}
+
+// lockC is a callee that locks on behalf of its callers.
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// callsWhileHolding re-locks C.mu through a call: invisible locally,
+// caught interprocedurally.
+func callsWhileHolding(c *C) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockC(c) // want `potential self-deadlock`
+}
+
+// declaredFootprint understates its transitive acquisitions.
+//
+//tiresias:acquires nothing
+func declaredFootprint(c *C) { // want `acquires C\.mu but its //tiresias:acquires declaration does not list it`
+	lockC(c)
+}
+
+// declaredOK declares exactly what it acquires, through a call.
+//
+//tiresias:acquires C.mu
+func declaredOK(c *C) {
+	lockC(c)
+}
+
+// goroutineInherits spawns a goroutine while holding A.mu: the body
+// inherits the ordering obligation (its E.mu lock is the declared
+// A.mu < E.mu edge), but its deferred unlock releases at the
+// literal's end — if it leaked into the spawner's held set, the
+// second E.mu lock below would read as re-entrant.
+func goroutineInherits(a *A, e *E, wg *sync.WaitGroup) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}()
+	e.mu.Lock() // no finding: the goroutine's locks stayed in the literal
+	e.mu.Unlock()
+}

@@ -15,6 +15,30 @@ func TestLockguard(t *testing.T) {
 	analysistest.Run(t, "lockguard", analysis.Lockguard)
 }
 
+func TestEscapecheck(t *testing.T) {
+	analysistest.Run(t, "escapecheck", analysis.Escapecheck)
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "lockorder", analysis.Lockorder)
+}
+
+func TestGoroline(t *testing.T) {
+	analysistest.Run(t, "goroline", analysis.NewGoroline([]string{"goroline"}))
+}
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, "atomiccheck", analysis.Atomiccheck)
+}
+
+func TestIgnoreEdgeCases(t *testing.T) {
+	// The ignorecase fixture pins the //tiresias:ignore grammar itself
+	// — directive above a multi-line statement, several analyzers in
+	// one directive, missing/empty justifications rejected — using
+	// hotpath as the reporting vehicle.
+	analysistest.Run(t, "ignorecase", analysis.Hotpath)
+}
+
 func TestWireerr(t *testing.T) {
 	analysistest.Run(t, "wireerr", analysis.Wireerr)
 }

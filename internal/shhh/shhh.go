@@ -67,13 +67,13 @@ func Compute(t *hierarchy.Tree, counts Counts, theta float64) *Result {
 //tiresias:hotpath
 func ComputeInto(t *hierarchy.Tree, counts Counts, theta float64, r *Result) *Result {
 	if r == nil {
-		r = &Result{} //tiresias:ignore hotpath (nil-r convenience path; steady-state callers pass a reused Result)
+		r = &Result{} //tiresias:ignore hotpath escapecheck (nil-r convenience path; steady-state callers pass a reused Result)
 	}
 	n := t.Len()
 	r.Theta = theta
-	r.A = growFloats(r.A, n)
-	r.W = growFloats(r.W, n)
-	r.InSet = growBools(r.InSet, n)
+	r.A = growFloats(r.A, n)        //tiresias:ignore escapecheck (inlined grow path: allocates only when the tree outgrows r's scratch)
+	r.W = growFloats(r.W, n)        //tiresias:ignore escapecheck (inlined grow path: allocates only when the tree outgrows r's scratch)
+	r.InSet = growBools(r.InSet, n) //tiresias:ignore escapecheck (inlined grow path: allocates only when the tree outgrows r's scratch)
 	r.Set = r.Set[:0]
 	for k, v := range counts {
 		if nd := t.Lookup(k); nd != nil {
@@ -152,7 +152,7 @@ func Aggregate(t *hierarchy.Tree, counts Counts) []float64 {
 //
 //tiresias:hotpath
 func AggregateInto(t *hierarchy.Tree, counts Counts, dst []float64) []float64 {
-	a := growFloats(dst, t.Len())
+	a := growFloats(dst, t.Len()) //tiresias:ignore escapecheck (inlined grow path: allocates only when the tree outgrows dst)
 	for k, v := range counts {
 		if n := t.Lookup(k); n != nil {
 			a[n.ID] += v
@@ -188,7 +188,7 @@ func FrozenWeights(t *hierarchy.Tree, counts Counts, inSet []bool) []float64 {
 //
 //tiresias:hotpath
 func FrozenWeightsInto(t *hierarchy.Tree, counts Counts, inSet []bool, dst []float64) []float64 {
-	w := growFloats(dst, t.Len())
+	w := growFloats(dst, t.Len()) //tiresias:ignore escapecheck (inlined grow path: allocates only when the tree outgrows dst)
 	for k, v := range counts {
 		if n := t.Lookup(k); n != nil {
 			w[n.ID] += v

@@ -25,6 +25,17 @@
 // versioned binary checkpoint and Restore resumes it mid-stream with
 // bit-identical future detections (Manager.Checkpoint /
 // ManagerFromCheckpoint do the same for a fleet).
+//
+// The package's mutexes form a declared hierarchy, machine-checked by
+// tiresias-vet's lockorder analyzer: the checkpoint serializer is the
+// only path that nests locks, taking the checkpoint mutex first, then
+// the pipeline's (to drain queued records), each shard's (to freeze
+// its streams), and the stats mutex (to publish the outcome); shard
+// locks nest over the anomaly index's.
+//
+//tiresias:lockorder Manager.ckptMu < pipeline.mu
+//tiresias:lockorder Manager.ckptMu < managerShard.mu < Index.mu
+//tiresias:lockorder Manager.ckptMu < Manager.ckptStatsMu
 package tiresias
 
 import (
